@@ -1,0 +1,223 @@
+// Command clustersim runs one cluster simulation and prints its outcome:
+// application metric, simulated (guest) time, modelled host time, quantum
+// statistics and straggler counts.
+//
+// Examples:
+//
+//	clustersim -workload nas.is -nodes 8 -quantum 100us
+//	clustersim -workload namd -nodes 8 -dyn 1us:1000us:1.03:0.02 -chart
+//	clustersim -workload nas.ep -nodes 4 -quantum 10us -parallel -spin 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clustersim/internal/cluster"
+	"clustersim/internal/experiments"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+	"clustersim/internal/trace"
+	"clustersim/internal/workloads"
+)
+
+var (
+	workloadFlag = flag.String("workload", "nas.ep", "workload: nas.ep, nas.is, nas.cg, nas.mg, nas.lu, nas.ft, namd, pingpong, phases, silent, uniform")
+	nodesFlag    = flag.Int("nodes", 8, "number of simulated cluster nodes")
+	quantumFlag  = flag.String("quantum", "1us", "fixed synchronization quantum (e.g. 1us, 100us, 1ms)")
+	dynFlag      = flag.String("dyn", "", "adaptive quantum as min:max:inc:dec (e.g. 1us:1000us:1.03:0.02); overrides -quantum")
+	scaleFlag    = flag.Float64("scale", 1.0, "workload compute scale factor")
+	seedFlag     = flag.Uint64("seed", 1, "host model seed")
+	chartFlag    = flag.Bool("chart", false, "print the quantum-over-time chart")
+	packetsFlag  = flag.Bool("traffic", false, "print the packet traffic chart")
+	widthFlag    = flag.Int("width", 100, "chart width in columns")
+	parallelFlag = flag.Bool("parallel", false, "run with real goroutine parallelism and wall-clock timing")
+	spinFlag     = flag.Float64("spin", 0.02, "real ns of CPU burned per guest busy ns (parallel mode)")
+	traceFlag    = flag.String("tracefile", "", "run a JSON communication trace (workloads.TraceFile schema) instead of -workload; -nodes must match its rank count")
+)
+
+func pickWorkload(name string, scale float64) (workloads.Workload, error) {
+	for _, w := range experiments.NASSuite(scale) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	switch name {
+	case "namd":
+		return experiments.NAMDWorkload(scale), nil
+	case "nas.ft":
+		p := workloads.DefaultFT()
+		p.SerialComputePerIter = p.SerialComputePerIter.Scale(scale)
+		return workloads.FT(p), nil
+	case "nas.bt":
+		p := workloads.DefaultBT()
+		p.SerialComputePerStep = p.SerialComputePerStep.Scale(scale)
+		return workloads.BT(p), nil
+	case "pingpong":
+		return workloads.PingPong(200, 9000), nil
+	case "phases":
+		return workloads.Phases(8, simtime.Duration(float64(2*simtime.Millisecond)*scale), 64<<10), nil
+	case "silent":
+		return workloads.Silent(simtime.Duration(float64(20*simtime.Millisecond) * scale)), nil
+	case "uniform":
+		return workloads.Uniform(200, 4000, 100*simtime.Microsecond, 42), nil
+	}
+	return workloads.Workload{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func parsePolicy() (func() quantum.Policy, error) {
+	if *dynFlag == "" {
+		q, err := simtime.ParseDuration(*quantumFlag)
+		if err != nil {
+			return nil, err
+		}
+		return func() quantum.Policy { return quantum.Fixed{Q: q} }, nil
+	}
+	parts := strings.Split(*dynFlag, ":")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("-dyn wants min:max:inc:dec, got %q", *dynFlag)
+	}
+	min, err := simtime.ParseDuration(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	max, err := simtime.ParseDuration(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	inc, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return nil, err
+	}
+	return func() quantum.Policy { return quantum.NewAdaptive(min, max, inc, dec) }, nil
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var w workloads.Workload
+	var err error
+	if *traceFlag != "" {
+		f, ferr := os.Open(*traceFlag)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		tf, perr := workloads.ParseTrace(f)
+		if perr != nil {
+			return perr
+		}
+		w = tf.Workload()
+	} else {
+		w, err = pickWorkload(*workloadFlag, *scaleFlag)
+		if err != nil {
+			return err
+		}
+	}
+	policy, err := parsePolicy()
+	if err != nil {
+		return err
+	}
+	env := experiments.DefaultEnv()
+	env.Host.Seed = *seedFlag
+
+	if *parallelFlag {
+		return runParallel(w, policy, env)
+	}
+
+	cfg := cluster.Config{
+		Nodes:        *nodesFlag,
+		Guest:        env.Guest,
+		Net:          env.Net,
+		Host:         env.Host,
+		Policy:       policy,
+		Program:      w.New,
+		MaxGuest:     env.MaxGuest,
+		TraceQuanta:  *chartFlag,
+		TracePackets: *packetsFlag,
+	}
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printResult(w, res)
+	if *chartFlag {
+		series := trace.QuantumSeries(res.Quanta, *widthFlag, res.GuestTime)
+		fmt.Println()
+		fmt.Print(trace.LogChart(series, 1, 1100, 10, "quantum duration (µs) over guest time"))
+	}
+	if *packetsFlag {
+		fmt.Println()
+		fmt.Print(trace.TrafficChart(res.Packets, cfg.Nodes, res.GuestTime, *widthFlag))
+	}
+	return nil
+}
+
+func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env) error {
+	res, err := cluster.RunParallel(cluster.ParallelConfig{
+		Nodes:            *nodesFlag,
+		Guest:            env.Guest,
+		Net:              env.Net,
+		Policy:           policy,
+		Program:          w.New,
+		SpinPerGuestBusy: *spinFlag,
+		MaxGuest:         env.MaxGuest,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload     %s ×%d (parallel, policy %s)\n", w.Name, *nodesFlag, res.PolicyName)
+	fmt.Printf("guest time   %v\n", res.GuestTime)
+	fmt.Printf("wall clock   %v (real, %d goroutines)\n", res.Wall, *nodesFlag)
+	printMetrics(res.Metrics)
+	printStats(res.Stats)
+	return nil
+}
+
+func printResult(w workloads.Workload, res *cluster.Result) {
+	fmt.Printf("workload     %s ×%d (policy %s)\n", w.Name, *nodesFlag, res.PolicyName)
+	fmt.Printf("guest time   %v\n", res.GuestTime)
+	fmt.Printf("host time    %v (modelled)\n", res.HostTime)
+	printMetrics(res.Metrics)
+	printStats(res.Stats)
+}
+
+func printMetrics(ms []map[string]float64) {
+	if len(ms) == 0 {
+		return
+	}
+	var keys []string
+	for k := range ms[0] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("metric       %s = %.4g\n", k, ms[0][k])
+	}
+}
+
+func printStats(st cluster.Stats) {
+	fmt.Printf("quanta       %d (min %v, mean %v, max %v; %d silent)\n",
+		st.Quanta, st.MinQ, st.MeanQ, st.MaxQ, st.SilentQuanta)
+	fmt.Printf("packets      %d routed, %d deliveries\n", st.Packets, st.Deliveries)
+	fmt.Printf("stragglers   %d (%d snapped to the next quantum), total delay %v\n",
+		st.Stragglers, st.QuantumSnaps, st.StragglerDelay)
+	if st.HostBusy > 0 || st.HostBarrier > 0 {
+		fmt.Printf("host split   busy %v, idle %v, barriers %v (summed across nodes)\n",
+			st.HostBusy, st.HostIdle, st.HostBarrier)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"clustersim/internal/experiments"
+)
+
+// writeCSV writes rows (first row = header) to dir/name, creating dir.
+func writeCSV(dir, name string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// aggCSV renders Figure 6/7 rows.
+func aggCSV(rows []experiments.AggRow) [][]string {
+	out := [][]string{{"config", "nodes", "accuracy_error", "speedup"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Config, strconv.Itoa(r.Nodes), f64(r.AccErr), f64(r.Speedup)})
+	}
+	return out
+}
+
+// fig8CSV renders the Pareto points.
+func fig8CSV(out experiments.Fig8Out) [][]string {
+	front := map[string]bool{}
+	for _, p := range out.Front {
+		front[p.Name] = true
+	}
+	rows := [][]string{{"point", "accuracy_error", "speedup", "on_front", "front_distance"}}
+	for _, p := range out.Points {
+		dist := ""
+		if d, ok := out.NearFront[p.Name]; ok {
+			dist = f64(d)
+		}
+		rows = append(rows, []string{p.Name, f64(p.Err), f64(p.Speedup),
+			strconv.FormatBool(front[p.Name]), dist})
+	}
+	return rows
+}
+
+// scaleOutCSV renders one Figure 9 table.
+func scaleOutCSV(so *experiments.ScaleOut) [][]string {
+	rows := [][]string{{"config", "acceleration", "accuracy_error", "exec_ratio"}}
+	for _, r := range so.Rows {
+		rows = append(rows, []string{r.Config, f64(r.Accel), f64(r.AccErr), f64(r.ExecRatio)})
+	}
+	return rows
+}
+
+// ablationCSV renders a sensitivity sweep.
+func ablationCSV(rows []experiments.AblationRow) [][]string {
+	out := [][]string{{"config", "accuracy_error", "speedup", "mean_q_us"}}
+	for _, r := range rows {
+		out = append(out, []string{r.Label, f64(r.AccErr), f64(r.Speedup),
+			fmt.Sprintf("%.3f", r.MeanQ.Microseconds())})
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package clustersim_test
+
+import (
+	"fmt"
+
+	"clustersim"
+	"clustersim/internal/mpi"
+)
+
+// ExampleRun simulates a two-node ping over the paper's network at ground
+// truth; the engine is deterministic, so the printed numbers are exact.
+func ExampleRun() {
+	program := func(rank, size int) clustersim.Program {
+		return func(p *clustersim.Proc) error {
+			comm := mpi.New(p)
+			if rank == 0 {
+				comm.Send(1, 1, 1000)
+				m := comm.Recv(1, 2)
+				p.Report("reply_us", clustersim.Duration(m.Arrival).Microseconds())
+			} else {
+				comm.Recv(0, 1)
+				comm.Send(0, 2, 1000)
+			}
+			return nil
+		}
+	}
+	res, err := clustersim.Run(clustersim.NewConfig(2, program))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reply, _ := res.Metric("reply_us")
+	fmt.Printf("reply at %.3fµs, stragglers: %d\n", reply, res.Stats.Stragglers)
+	// Output: reply at 4.316µs, stragglers: 0
+}
+
+// ExampleAdaptiveQuantum shows Algorithm 1 growing the quantum through a
+// silent compute phase.
+func ExampleAdaptiveQuantum() {
+	program := func(rank, size int) clustersim.Program {
+		return func(p *clustersim.Proc) error {
+			p.Compute(2 * clustersim.Millisecond) // silence: the quantum grows
+			return nil
+		}
+	}
+	cfg := clustersim.NewConfig(4, program)
+	cfg.Policy = clustersim.AdaptiveQuantum(
+		1*clustersim.Microsecond, 1000*clustersim.Microsecond, 1.05, 0.02)
+	res, err := clustersim.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("quanta: %d (a fixed 1µs quantum would need 2000), max Q: %v\n",
+		res.Stats.Quanta, res.Stats.MaxQ)
+	// Output: quanta: 95 (a fixed 1µs quantum would need 2000), max Q: 98.128µs
+}
+
+// ExampleRecommendedDec reproduces the paper's rule of thumb for the
+// quantum decrease factor.
+func ExampleRecommendedDec() {
+	dec := clustersim.RecommendedDec(1*clustersim.Microsecond, 1000*clustersim.Microsecond)
+	fmt.Printf("dec ≈ %.4f (the paper uses 0.02 for this range)\n", dec)
+	// Output: dec ≈ 0.0316 (the paper uses 0.02 for this range)
+}

@@ -1,0 +1,39 @@
+// NAMD scaling study: run the molecular-dynamics skeleton at 2, 4 and 8
+// nodes under ground-truth, fixed and adaptive synchronization, reporting
+// the wall-clock accuracy and speedup of Figure 7 plus the quantum the
+// adaptive algorithm settles on as traffic densifies with scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clustersim/internal/experiments"
+	"clustersim/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "workload compute scale factor")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	w := experiments.NAMDWorkload(*scale)
+
+	fmt.Printf("NAMD skeleton (apoa1-like), scale %.2f — accuracy is wall-clock deviation vs Q=1µs\n\n", *scale)
+	fmt.Printf("%-6s %-20s %14s %10s %14s\n", "nodes", "config", "accuracy err", "speedup", "adaptive meanQ")
+	for _, nodes := range []int{2, 4, 8} {
+		cells, err := experiments.Grid(env, []workloads.Workload{w}, []int{nodes}, experiments.StandardSpecs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cells {
+			meanQ := ""
+			if c.Stats.MaxQ != c.Stats.MinQ {
+				meanQ = c.Stats.MeanQ.String()
+			}
+			fmt.Printf("%-6d %-20s %13.2f%% %9.1fx %14s\n", nodes, c.Config, c.AccErr*100, c.Speedup, meanQ)
+		}
+		fmt.Println()
+	}
+}

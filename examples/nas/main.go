@@ -1,0 +1,40 @@
+// NAS sweep: run the five NAS kernel skeletons on a simulated 8-node
+// cluster under the paper's standard configurations and print the
+// per-benchmark accuracy/speedup table behind Figure 6.
+//
+// Pass -scale to shrink the workloads (e.g. -scale 0.1 runs in seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"clustersim/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "workload compute scale factor")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	cells, err := experiments.Grid(env, experiments.NASSuite(*scale),
+		[]int{*nodes}, experiments.StandardSpecs())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("NAS kernels on %d simulated nodes (scale %.2f), versus Q=1µs ground truth\n\n", *nodes, *scale)
+	fmt.Printf("%-8s %-20s %10s %14s %10s %12s\n",
+		"kernel", "config", "MOPS", "accuracy err", "speedup", "stragglers")
+	last := ""
+	for _, c := range cells {
+		if c.Workload != last {
+			last = c.Workload
+			fmt.Println()
+		}
+		fmt.Printf("%-8s %-20s %10.0f %13.2f%% %9.1fx %12d\n",
+			c.Workload, c.Config, c.Metric, c.AccErr*100, c.Speedup, c.Stats.Stragglers)
+	}
+}

@@ -1,0 +1,51 @@
+// Trace replay: run a recorded communication trace (JSON, one op list per
+// rank — the schema of workloads.TraceFile) through the cluster simulator
+// under ground-truth and adaptive synchronization. The same file works with
+// the CLI: clustersim -tracefile ring.json -nodes 4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"clustersim"
+	"clustersim/internal/workloads"
+)
+
+func main() {
+	path := filepath.Join("examples", "tracefile", "ring.json")
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tf, err := workloads.ParseTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := tf.Workload()
+
+	fmt.Printf("replaying %q (%d ranks)\n\n", w.Name, tf.Ranks)
+	for _, cfg := range []struct {
+		name   string
+		policy func() clustersim.QuantumPolicy
+	}{
+		{"ground truth (Q=1µs)", clustersim.FixedQuantum(1 * clustersim.Microsecond)},
+		{"adaptive 1µs:1ms", clustersim.AdaptiveQuantum(1*clustersim.Microsecond, 1000*clustersim.Microsecond, 1.03, 0.02)},
+	} {
+		c := clustersim.NewConfig(tf.Ranks, w.New)
+		c.Policy = cfg.policy
+		res, err := clustersim.Run(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tApp, _ := res.Metric("time_s")
+		fmt.Printf("%-22s app %.6fs  host %-12v  %d quanta, %d stragglers\n",
+			cfg.name, tApp, res.HostTime, res.Stats.Quanta, res.Stats.Stragglers)
+	}
+}

@@ -1,0 +1,171 @@
+// Package cluster implements the cluster simulator of the paper: N guest
+// nodes coupled through a central network controller, advancing in
+// synchronization quanta chosen by a quantum policy.
+//
+// The engine is a deterministic discrete-event simulation over *host* time
+// that simulates the parallel node simulators themselves (see DESIGN.md §4):
+// it reproduces the races that create stragglers — which node simulator has
+// raced ahead when a packet crosses the controller — without depending on
+// real wall-clock scheduling, so every run is exactly replayable from its
+// seed. A separate real-goroutine runner (parallel.go) executes the same
+// models against actual wall-clock time.
+package cluster
+
+import (
+	"fmt"
+
+	"clustersim/internal/guest"
+	"clustersim/internal/host"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+)
+
+// Config describes one cluster-simulation run.
+type Config struct {
+	// Nodes is the number of simulated nodes (the paper uses 2–64).
+	Nodes int
+	// Guest configures the guest CPU/NIC software costs, identical across
+	// nodes.
+	Guest guest.Config
+	// Net is the network timing model (NIC + switch).
+	Net *netmodel.Model
+	// Host is the host-execution model.
+	Host host.Params
+	// Policy constructs the quantum policy for this run. A constructor
+	// rather than a value because adaptive policies carry state.
+	Policy func() quantum.Policy
+	// Program builds the workload for each rank.
+	Program func(rank, size int) guest.Program
+	// MaxGuest aborts the run if the guest clock passes it without all
+	// workloads finishing — a deadlock/livelock backstop. Zero disables it.
+	MaxGuest simtime.Guest
+	// TracePackets records every routed frame (memory-heavy; off by
+	// default).
+	TracePackets bool
+	// TraceQuanta records one entry per synchronization quantum (needed for
+	// the Figure 9 speedup-over-time series).
+	TraceQuanta bool
+	// LossRate drops each frame at the controller with this probability —
+	// an extension beyond the paper's perfect switch, used to exercise the
+	// msg layer's reliable mode. Drops are deterministic given LossSeed.
+	LossRate float64
+	// LossSeed seeds the loss draws.
+	LossSeed uint64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster: need at least 1 node, got %d", c.Nodes)
+	case c.Net == nil:
+		return fmt.Errorf("cluster: nil network model")
+	case c.Policy == nil:
+		return fmt.Errorf("cluster: nil quantum policy constructor")
+	case c.Program == nil:
+		return fmt.Errorf("cluster: nil workload program constructor")
+	case c.Guest.CPUHz <= 0:
+		return fmt.Errorf("cluster: guest CPUHz must be positive, got %v", c.Guest.CPUHz)
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("cluster: LossRate must be in [0,1), got %v", c.LossRate)
+	}
+	if err := c.Net.Validate(c.Nodes); err != nil {
+		return err
+	}
+	return c.Host.Validate()
+}
+
+// Stats aggregates what the controller observed during a run.
+type Stats struct {
+	// Quanta is the number of synchronization quanta executed.
+	Quanta int
+	// Packets is the number of frames routed by the controller.
+	Packets int
+	// Deliveries counts frame deliveries to destination nodes (a broadcast
+	// contributes Nodes-1).
+	Deliveries int
+	// Exact counts deliveries scheduled at their precise simulated arrival
+	// time (paper case 2).
+	Exact int
+	// Stragglers counts deliveries whose correct arrival time had already
+	// passed on the destination (paper case 3).
+	Stragglers int
+	// QuantumSnaps counts stragglers that additionally had to wait for the
+	// next quantum boundary (paper Figure 3(d)).
+	QuantumSnaps int
+	// StragglerDelay is the total guest time by which straggler deliveries
+	// were late versus their ideal arrival.
+	StragglerDelay simtime.Duration
+	// Dropped counts frames discarded by loss injection (zero on the
+	// paper's perfect switch).
+	Dropped int
+	// HostBusy/HostIdle sum the host time the node simulators spent in
+	// detailed execution and in idle fast-path across all nodes;
+	// HostBarrier sums the per-quantum barrier costs. Together they show
+	// where the paper's "synchronization overhead" (Figure 5) lives.
+	HostBusy    simtime.Duration
+	HostIdle    simtime.Duration
+	HostBarrier simtime.Duration
+	// MinQ/MaxQ/MeanQ summarize the quantum durations used.
+	MinQ, MaxQ simtime.Duration
+	MeanQ      simtime.Duration
+	// SilentQuanta is the number of quanta that carried no packets (the
+	// np==0 branch of Algorithm 1).
+	SilentQuanta int
+}
+
+// QuantumRecord traces one synchronization quantum.
+type QuantumRecord struct {
+	Index      int
+	Start      simtime.Guest    // guest time at quantum start
+	Q          simtime.Duration // quantum duration
+	Packets    int              // frames routed during the quantum
+	Stragglers int
+	HostStart  simtime.Host // barrier release that started the quantum
+	HostEnd    simtime.Host // barrier release that ended it
+}
+
+// PacketRecord traces one routed frame.
+type PacketRecord struct {
+	SendGuest simtime.Guest // guest time the source handed it to the NIC
+	Ideal     simtime.Guest // exact simulated arrival time
+	Arrival   simtime.Guest // guest time actually delivered
+	Src, Dst  int
+	Size      int
+	Straggler bool
+	Snapped   bool // queued to the next quantum boundary
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// GuestTime is the guest time at which the last workload finished: the
+	// cluster application's simulated wall-clock time.
+	GuestTime simtime.Guest
+	// HostTime is the modelled host time consumed to simulate the run —
+	// the denominator of all the paper's speedups.
+	HostTime simtime.Duration
+	// NodeFinish holds each workload's guest finish time.
+	NodeFinish []simtime.Guest
+	// Metrics holds each node's reported application metrics.
+	Metrics []map[string]float64
+	// Stats aggregates controller observations.
+	Stats Stats
+	// Quanta is the per-quantum trace (nil unless Config.TraceQuanta).
+	Quanta []QuantumRecord
+	// Packets is the per-frame trace (nil unless Config.TracePackets).
+	Packets []PacketRecord
+	// PolicyName records the quantum policy used.
+	PolicyName string
+}
+
+// Metric returns rank 0's reported value for name (the application-level
+// result, by the convention described at Proc.Report), and whether it was
+// reported.
+func (r *Result) Metric(name string) (float64, bool) {
+	if len(r.Metrics) == 0 {
+		return 0, false
+	}
+	v, ok := r.Metrics[0][name]
+	return v, ok
+}

@@ -1,0 +1,516 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"clustersim/internal/eventq"
+	"clustersim/internal/guest"
+	"clustersim/internal/host"
+	"clustersim/internal/pkt"
+	"clustersim/internal/quantum"
+	"clustersim/internal/rng"
+	"clustersim/internal/simtime"
+)
+
+// ErrGuestLimit is returned when a run exceeds Config.MaxGuest without all
+// workloads finishing — usually a deadlocked workload.
+var ErrGuestLimit = errors.New("cluster: guest time limit exceeded before workloads finished")
+
+// event kinds in the host-time queue.
+type evKind int
+
+const (
+	evFrame evKind = iota // a frame reaches the controller/destination
+	evStep                // a node's current segment ends; resume stepping
+	evWake                // an idle node reaches its wake guest time
+)
+
+// event priorities: at identical host times, frames are routed before nodes
+// resume, so a delivery racing a segment end is observed by the resuming
+// node. Any fixed rule would do; this one minimizes spurious blocking.
+const (
+	priFrame = 0
+	priWake  = 1
+	priStep  = 2
+)
+
+type event struct {
+	kind evKind
+	node int
+	// frame fields
+	frame *pkt.Frame
+	src   int
+	dst   int
+	tSend simtime.Guest // guest time the frame left the source workload
+	tD    simtime.Guest // exact simulated arrival time
+	// wake field
+	gTarget simtime.Guest
+}
+
+type nodePhase int
+
+const (
+	phRunning nodePhase = iota // executing; a segment/step event is pending
+	phIdle                     // blocked; a wake event is pending
+	phAtLimit                  // reached the quantum boundary
+)
+
+type nodeState struct {
+	n     *guest.Node
+	phase nodePhase
+
+	// Execution cursor: the host time corresponding to the node's position
+	// at the *end* of the current segment. While a segment is in flight,
+	// interpolate with the segment fields below.
+	hostNow simtime.Host
+
+	// Current segment (busy execution or idle wait) for interpolating the
+	// node's guest position at an arbitrary host instant.
+	inSeg      bool
+	segMode    host.Mode
+	segStartG  simtime.Guest
+	segStartH  simtime.Host
+	segEndG    simtime.Guest
+	segEndH    simtime.Host
+	wakeEv     *eventq.Event[event] // cancellable pending wake
+	doneIdling bool                 // workload finished; idling to each barrier
+
+	txFree     simtime.Guest // guest time the NIC's transmitter frees up
+	finishHost simtime.Host  // host time the node reached the current barrier
+	doneHost   simtime.Host  // host time the workload finished
+}
+
+// engine runs one configuration.
+type engine struct {
+	cfg    Config
+	hm     *host.Model
+	nodes  []*nodeState
+	q      eventq.Queue[event]
+	policy quantum.Policy
+	// portFree tracks, per destination, when its switch output port frees
+	// up (guest time); used only when the net model has an OutputQueue.
+	portFree []simtime.Guest
+
+	limit     simtime.Guest // current quantum end
+	qStartH   simtime.Host  // barrier release that started the quantum
+	npQuantum int           // frames routed this quantum
+	strQuant  int           // stragglers this quantum
+	lastEvtH  simtime.Host  // latest frame event host time this quantum
+
+	doneCount int
+	res       Result
+	sumQ      float64
+	firstErr  error
+}
+
+// Run executes the configuration and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:    cfg,
+		hm:     host.NewModel(cfg.Host),
+		policy: cfg.Policy(),
+	}
+	defer e.shutdown()
+	e.nodes = make([]*nodeState, cfg.Nodes)
+	e.portFree = make([]simtime.Guest, cfg.Nodes)
+	for i := range e.nodes {
+		prog := cfg.Program(i, cfg.Nodes)
+		if prog == nil {
+			return nil, fmt.Errorf("cluster: nil program for rank %d", i)
+		}
+		e.nodes[i] = &nodeState{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, prog)}
+	}
+	e.res.PolicyName = e.policy.Name()
+	e.res.Stats.MinQ = simtime.Duration(1<<62 - 1)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	if e.firstErr != nil {
+		return nil, e.firstErr
+	}
+	return &e.res, nil
+}
+
+func (e *engine) shutdown() {
+	for _, ns := range e.nodes {
+		if ns != nil {
+			ns.n.Shutdown()
+		}
+	}
+}
+
+func (e *engine) run() error {
+	var start simtime.Guest
+	var hostNow simtime.Host
+	Q := e.policy.First()
+	if Q <= 0 {
+		return fmt.Errorf("cluster: policy %q issued non-positive quantum %v", e.policy.Name(), Q)
+	}
+
+	for qi := 0; ; qi++ {
+		e.limit = start.Add(Q)
+		e.qStartH = hostNow
+		e.npQuantum = 0
+		e.strQuant = 0
+		e.lastEvtH = hostNow
+
+		for _, ns := range e.nodes {
+			ns.n.BeginQuantum(e.limit)
+			ns.phase = phRunning
+			ns.hostNow = hostNow
+			ns.inSeg = false
+			ns.wakeEv = nil
+			ns.finishHost = hostNow
+			if ns.n.Done() {
+				// A finished workload's simulator idles through the
+				// quantum (OS housekeeping only).
+				e.idleTo(ns, e.limit, hostNow)
+				continue
+			}
+			e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: ns.n.ID()})
+		}
+
+		for e.q.Len() > 0 {
+			ev := e.q.Pop()
+			e.dispatch(simtime.Host(ev.Time), ev.Payload)
+		}
+
+		// Barrier: wait for the slowest node and any late frames, pay the
+		// barrier cost plus the controller's per-packet occupancy.
+		maxH := e.lastEvtH
+		for _, ns := range e.nodes {
+			maxH = simtime.MaxHost(maxH, ns.finishHost)
+		}
+		barrierEnd := maxH.
+			Add(e.cfg.Host.BarrierCost).
+			Add(simtime.Duration(e.npQuantum) * e.cfg.Host.PacketHostCost)
+		e.res.Stats.HostBarrier += barrierEnd.Sub(maxH)
+
+		e.recordQuantum(qi, start, Q, hostNow, barrierEnd)
+
+		hostNow = barrierEnd
+		start = e.limit
+
+		if e.doneCount == len(e.nodes) {
+			break
+		}
+		if e.cfg.MaxGuest > 0 && start > e.cfg.MaxGuest {
+			return fmt.Errorf("%w (reached %v)", ErrGuestLimit, start)
+		}
+
+		Q = e.policy.Next(quantum.Feedback{
+			Packets:    e.npQuantum,
+			Stragglers: e.strQuant,
+			Now:        e.limit,
+		})
+		if Q <= 0 {
+			return fmt.Errorf("cluster: policy %q issued non-positive quantum %v", e.policy.Name(), Q)
+		}
+	}
+
+	for _, ns := range e.nodes {
+		e.res.NodeFinish = append(e.res.NodeFinish, ns.n.FinishedAt())
+		e.res.Metrics = append(e.res.Metrics, ns.n.Metrics())
+		e.res.GuestTime = simtime.MaxGuest(e.res.GuestTime, ns.n.FinishedAt())
+		if d := ns.doneHost; simtime.Duration(d) > e.res.HostTime {
+			e.res.HostTime = simtime.Duration(d)
+		}
+	}
+	if e.res.Stats.Quanta > 0 {
+		e.res.Stats.MeanQ = simtime.Duration(e.sumQ / float64(e.res.Stats.Quanta))
+	}
+	return nil
+}
+
+func (e *engine) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, hStart, hEnd simtime.Host) {
+	st := &e.res.Stats
+	st.Quanta++
+	e.sumQ += float64(Q)
+	if Q < st.MinQ {
+		st.MinQ = Q
+	}
+	if Q > st.MaxQ {
+		st.MaxQ = Q
+	}
+	if e.npQuantum == 0 {
+		st.SilentQuanta++
+	}
+	if e.cfg.TraceQuanta {
+		e.res.Quanta = append(e.res.Quanta, QuantumRecord{
+			Index:      qi,
+			Start:      start,
+			Q:          Q,
+			Packets:    e.npQuantum,
+			Stragglers: e.strQuant,
+			HostStart:  hStart,
+			HostEnd:    hEnd,
+		})
+	}
+}
+
+func (e *engine) dispatch(h simtime.Host, ev event) {
+	switch ev.kind {
+	case evStep:
+		e.stepNode(e.nodes[ev.node], h)
+	case evWake:
+		ns := e.nodes[ev.node]
+		ns.wakeEv = nil
+		ns.inSeg = false
+		ns.hostNow = h
+		ns.n.WakeAt(ev.gTarget)
+		if ns.doneIdling {
+			// The finished node reached the barrier.
+			ns.phase = phAtLimit
+			ns.finishHost = h
+			return
+		}
+		ns.phase = phRunning
+		e.stepNode(ns, h)
+	case evFrame:
+		e.routeFrame(h, ev)
+	}
+}
+
+// stepNode drives a node's Step loop from host time h until the node blocks,
+// starts a busy segment, reaches the limit, or finishes.
+func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
+	for {
+		st := ns.n.Step()
+		switch st.Kind {
+		case guest.StepBusy:
+			cost := e.hm.HostCost(ns.n.ID(), st.From, st.To, host.Busy)
+			e.res.Stats.HostBusy += cost
+			ns.inSeg = true
+			ns.segMode = host.Busy
+			ns.segStartG = st.From
+			ns.segStartH = h
+			ns.segEndG = st.To
+			ns.segEndH = h.Add(cost)
+			ns.hostNow = ns.segEndH
+			e.q.PushPri(int64(ns.segEndH), priStep, event{kind: evStep, node: ns.n.ID()})
+			return
+
+		case guest.StepSend:
+			e.sendFrame(ns, h, st.To, st.Frame)
+			// Sending costs no additional host time beyond the guest
+			// overhead already charged; keep stepping.
+
+		case guest.StepBlocked:
+			target := simtime.MinGuest(st.NextArrival, st.Deadline)
+			target = simtime.MinGuest(target, e.limit)
+			if target <= st.To {
+				// Blocked exactly at the quantum boundary.
+				ns.phase = phAtLimit
+				ns.inSeg = false
+				ns.finishHost = h
+				ns.hostNow = h
+				return
+			}
+			e.idleTo(ns, target, h)
+			return
+
+		case guest.StepLimit:
+			ns.phase = phAtLimit
+			ns.inSeg = false
+			ns.finishHost = h
+			ns.hostNow = h
+			return
+
+		case guest.StepDone:
+			if st.Err != nil && e.firstErr == nil {
+				e.firstErr = fmt.Errorf("cluster: rank %d: %w", ns.n.ID(), st.Err)
+			}
+			e.doneCount++
+			ns.doneHost = h
+			// The simulator keeps idling to the barrier.
+			e.idleTo(ns, e.limit, h)
+			ns.doneIdling = true
+			return
+		}
+	}
+}
+
+// idleTo puts the node into an idle segment from its current clock to guest
+// time target, scheduling the wake event.
+func (e *engine) idleTo(ns *nodeState, target simtime.Guest, h simtime.Host) {
+	from := ns.n.Clock()
+	if target < from {
+		panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", ns.n.ID(), from, target))
+	}
+	cost := e.hm.HostCost(ns.n.ID(), from, target, host.Idle)
+	e.res.Stats.HostIdle += cost
+	ns.phase = phIdle
+	ns.inSeg = true
+	ns.segMode = host.Idle
+	ns.segStartG = from
+	ns.segStartH = h
+	ns.segEndG = target
+	ns.segEndH = h.Add(cost)
+	ns.hostNow = ns.segEndH
+	ns.doneIdling = ns.n.Done()
+	ns.wakeEv = e.q.PushPri(int64(ns.segEndH), priWake, event{kind: evWake, node: ns.n.ID(), gTarget: target})
+}
+
+// sendFrame models the source NIC (transmit queueing + serialization),
+// computes the exact simulated arrival time, and ships the frame to the
+// controller in host time.
+func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f *pkt.Frame) {
+	src := ns.n.ID()
+	depart := simtime.MaxGuest(tSend, ns.txFree)
+	ser := e.cfg.Net.NIC.Serialization(f)
+	depart = depart.Add(ser)
+	ns.txFree = depart
+
+	arrHost := h.Add(e.cfg.Host.PacketTransit)
+	if f.Dst.IsBroadcast() {
+		for _, other := range e.nodes {
+			dst := other.n.ID()
+			if dst == src {
+				continue
+			}
+			e.q.PushPri(int64(arrHost), priFrame, event{
+				kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
+				tD: e.arrivalTime(f, src, dst, depart),
+			})
+		}
+		return
+	}
+	dst := f.Dst.Node()
+	if dst < 0 || dst >= len(e.nodes) {
+		// A frame to an unknown MAC: the switch floods it nowhere (no
+		// other ports in this cluster). Count it as routed traffic.
+		e.npQuantum++
+		e.res.Stats.Packets++
+		return
+	}
+	e.q.PushPri(int64(arrHost), priFrame, event{
+		kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
+		tD: e.arrivalTime(f, src, dst, depart),
+	})
+}
+
+// arrivalTime computes the exact simulated arrival of a frame that left its
+// source NIC at guest time depart, including switch output-port contention
+// when the network models it. Contention state is updated in the order the
+// controller observes the frames — exactly what the paper's centralized
+// network timing module would do.
+func (e *engine) arrivalTime(f *pkt.Frame, src, dst int, depart simtime.Guest) simtime.Guest {
+	out := e.cfg.Net.Output
+	if out == nil {
+		return depart.Add(e.cfg.Net.PostTxLatency(f, src, dst))
+	}
+	atPort := depart.Add(e.cfg.Net.PreQueueLatency(f, src, dst))
+	start := simtime.MaxGuest(atPort, e.portFree[dst])
+	e.portFree[dst] = start.Add(out.Serialization(f))
+	return e.portFree[dst].Add(e.cfg.Net.PostQueueLatency(f))
+}
+
+// guestPos returns node ns's guest position at host time h.
+func (e *engine) guestPos(ns *nodeState, h simtime.Host) simtime.Guest {
+	if !ns.inSeg {
+		return ns.n.Clock()
+	}
+	if h >= ns.segEndH {
+		return ns.segEndG
+	}
+	if h <= ns.segStartH {
+		return ns.segStartG
+	}
+	return e.hm.GuestAt(ns.n.ID(), ns.segStartG, h.Sub(ns.segStartH), ns.segMode, ns.segEndG)
+}
+
+// routeFrame is the controller receiving one frame at host time h and
+// delivering it to the destination per the paper's three cases.
+func (e *engine) routeFrame(h simtime.Host, ev event) {
+	e.npQuantum++
+	e.res.Stats.Packets++
+	if h > e.lastEvtH {
+		e.lastEvtH = h
+	}
+	if e.cfg.LossRate > 0 &&
+		rng.HashFloat01(e.cfg.LossSeed, ev.frame.ID, uint64(ev.dst)) < e.cfg.LossRate {
+		e.res.Stats.Dropped++
+		return
+	}
+	e.res.Stats.Deliveries++
+
+	ns := e.nodes[ev.dst]
+	var arr simtime.Guest
+	straggler, snapped := false, false
+
+	if ns.phase == phAtLimit {
+		// Paper Figure 3(d): the destination already finished its quantum.
+		if ev.tD < e.limit {
+			arr = e.limit // snaps to the next quantum boundary
+			straggler, snapped = true, true
+		} else {
+			arr = ev.tD // at or after the boundary: still exact
+		}
+	} else {
+		g := e.guestPos(ns, h)
+		if ev.tD >= g {
+			arr = ev.tD // exact delivery (paper case 2)
+		} else {
+			arr = g // straggler: deliver immediately (paper case 3)
+			straggler = true
+		}
+	}
+
+	st := &e.res.Stats
+	if straggler {
+		st.Stragglers++
+		e.strQuant++
+		st.StragglerDelay += arr.Sub(ev.tD)
+		if snapped {
+			st.QuantumSnaps++
+		}
+	} else {
+		st.Exact++
+	}
+	if e.cfg.TracePackets {
+		e.res.Packets = append(e.res.Packets, PacketRecord{
+			SendGuest: ev.tSend, Ideal: ev.tD, Arrival: arr,
+			Src: ev.src, Dst: ev.dst, Size: ev.frame.Size,
+			Straggler: straggler, Snapped: snapped,
+		})
+	}
+
+	ns.n.Deliver(ev.frame, arr)
+
+	// If the destination is idling, the new arrival may change its wake
+	// time: a straggler wakes it right now; an exact future arrival earlier
+	// than its current target re-aims the wake.
+	if ns.phase != phIdle || ns.doneIdling {
+		return
+	}
+	if straggler {
+		if !e.q.Remove(ns.wakeEv) {
+			panic("cluster: idle node without a cancellable wake event")
+		}
+		// The cancelled tail of the idle segment is never simulated.
+		e.res.Stats.HostIdle -= ns.segEndH.Sub(simtime.MaxHost(h, ns.segStartH))
+		ns.wakeEv = nil
+		ns.inSeg = false
+		ns.hostNow = h
+		ns.n.WakeAt(arr)
+		ns.phase = phRunning
+		e.stepNode(ns, h)
+		return
+	}
+	if arr < ns.segEndG {
+		// Re-aim the idle segment at the earlier arrival.
+		if !e.q.Remove(ns.wakeEv) {
+			panic("cluster: idle node without a cancellable wake event")
+		}
+		cost := e.hm.HostCost(ns.n.ID(), ns.segStartG, arr, host.Idle)
+		e.res.Stats.HostIdle -= ns.segEndH.Sub(ns.segStartH) - cost
+		ns.segEndG = arr
+		ns.segEndH = ns.segStartH.Add(cost)
+		ns.hostNow = ns.segEndH
+		ns.wakeEv = e.q.PushPri(int64(ns.segEndH), priWake, event{kind: evWake, node: ns.n.ID(), gTarget: arr})
+	}
+}

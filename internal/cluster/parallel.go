@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clustersim/internal/guest"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/pkt"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+)
+
+// ParallelConfig configures a real-time parallel run: one OS-scheduled
+// goroutine per simulated node, synchronized by a real barrier, exchanging
+// frames through a mutex-guarded controller — the shape of the paper's
+// actual deployment (N SimNow processes + a network controller process).
+//
+// Unlike the deterministic engine, wall-clock time is real and straggler
+// races come from the Go scheduler, so results vary run to run exactly as
+// the paper's did. Guest idle is modelled as infinitely fast (a blocked
+// simulator reaches its quantum boundary immediately), the limiting case of
+// the deterministic engine's IdleSlowdown → 0.
+type ParallelConfig struct {
+	Nodes   int
+	Guest   guest.Config
+	Net     *netmodel.Model
+	Policy  func() quantum.Policy
+	Program func(rank, size int) guest.Program
+	// SpinPerGuestBusy is real nanoseconds of host CPU burned per guest
+	// nanosecond of busy execution — the real-time analogue of the host
+	// model's BusySlowdown. Zero runs at full speed (no spinning).
+	SpinPerGuestBusy float64
+	// MaxGuest aborts a deadlocked run.
+	MaxGuest simtime.Guest
+}
+
+// ParallelResult is the outcome of a real-time parallel run.
+type ParallelResult struct {
+	GuestTime simtime.Guest
+	// Wall is the real elapsed time of the run.
+	Wall time.Duration
+	// Metrics holds each node's reported application metrics.
+	Metrics []map[string]float64
+	Stats   Stats
+	// PolicyName records the quantum policy used.
+	PolicyName string
+}
+
+// Metric returns rank 0's reported value for name.
+func (r *ParallelResult) Metric(name string) (float64, bool) {
+	if len(r.Metrics) == 0 {
+		return 0, false
+	}
+	v, ok := r.Metrics[0][name]
+	return v, ok
+}
+
+// ErrParallelGuestLimit is returned when a parallel run exceeds MaxGuest.
+var ErrParallelGuestLimit = errors.New("cluster: parallel run exceeded guest time limit")
+
+type pnodeState int
+
+const (
+	pnRunning pnodeState = iota
+	pnParked             // blocked at the quantum boundary, wakeable by delivery
+	pnAtLimit            // reached the boundary executing; waits for the barrier
+	pnDone               // workload finished
+)
+
+type pnode struct {
+	n      *guest.Node
+	state  pnodeState
+	txFree simtime.Guest
+}
+
+type prun struct {
+	cfg ParallelConfig
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	nodes    []*pnode
+	portFree []simtime.Guest // per-destination switch port clocks (OutputQueue)
+	gen      int             // quantum generation counter
+	stop     bool            // shutdown flag
+	limit    simtime.Guest
+	atLimit  int // nodes parked, at-limit or done this quantum
+	done     int
+	np       int // frames routed this quantum
+	str      int // stragglers this quantum
+	stats    Stats
+	sumQ     float64
+	wErr     error
+}
+
+// RunParallel executes the configuration with real parallelism and returns
+// wall-clock results.
+func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Net == nil || cfg.Policy == nil || cfg.Program == nil {
+		return nil, fmt.Errorf("cluster: parallel config missing net/policy/program")
+	}
+	r := &prun{cfg: cfg}
+	r.cond = sync.NewCond(&r.mu)
+	r.portFree = make([]simtime.Guest, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		r.nodes = append(r.nodes, &pnode{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes))})
+	}
+	policy := cfg.Policy()
+	r.stats.MinQ = simtime.Duration(1<<62 - 1)
+
+	var wg sync.WaitGroup
+	for _, pn := range r.nodes {
+		wg.Add(1)
+		go func(pn *pnode) {
+			defer wg.Done()
+			r.nodeLoop(pn)
+		}(pn)
+	}
+
+	start := time.Now()
+	var guestStart simtime.Guest
+	Q := policy.First()
+	err := func() error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for {
+			if Q <= 0 {
+				return fmt.Errorf("cluster: policy %q issued non-positive quantum %v", policy.Name(), Q)
+			}
+			r.limit = guestStart.Add(Q)
+			r.np, r.str = 0, 0
+			r.atLimit = r.done
+			for _, pn := range r.nodes {
+				if pn.state != pnDone {
+					pn.n.BeginQuantum(r.limit)
+					pn.state = pnRunning
+				}
+			}
+			r.gen++
+			r.cond.Broadcast()
+			for r.atLimit < len(r.nodes) && r.wErr == nil {
+				r.cond.Wait()
+			}
+			if r.wErr != nil {
+				return r.wErr
+			}
+			r.recordQuantum(Q)
+			guestStart = r.limit
+			if r.done == len(r.nodes) {
+				return nil
+			}
+			if cfg.MaxGuest > 0 && guestStart > cfg.MaxGuest {
+				return fmt.Errorf("%w (reached %v)", ErrParallelGuestLimit, guestStart)
+			}
+			Q = policy.Next(quantum.Feedback{Packets: r.np, Stragglers: r.str, Now: r.limit})
+		}
+	}()
+
+	// Shut the node goroutines down (normal completion leaves them waiting
+	// for the next generation).
+	r.mu.Lock()
+	r.stop = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	wg.Wait()
+	for _, pn := range r.nodes {
+		pn.n.Shutdown()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ParallelResult{
+		Wall:       time.Since(start),
+		Stats:      r.stats,
+		PolicyName: policy.Name(),
+	}
+	if r.stats.Quanta > 0 {
+		res.Stats.MeanQ = simtime.Duration(r.sumQ / float64(r.stats.Quanta))
+	}
+	for _, pn := range r.nodes {
+		res.Metrics = append(res.Metrics, pn.n.Metrics())
+		res.GuestTime = simtime.MaxGuest(res.GuestTime, pn.n.FinishedAt())
+	}
+	return res, nil
+}
+
+func (r *prun) recordQuantum(Q simtime.Duration) {
+	r.stats.Quanta++
+	r.sumQ += float64(Q)
+	if Q < r.stats.MinQ {
+		r.stats.MinQ = Q
+	}
+	if Q > r.stats.MaxQ {
+		r.stats.MaxQ = Q
+	}
+	if r.np == 0 {
+		r.stats.SilentQuanta++
+	}
+}
+
+// nodeLoop drives one node across quanta.
+func (r *prun) nodeLoop(pn *pnode) {
+	gen := 0
+	r.mu.Lock()
+	for {
+		for r.gen == gen && !r.stop {
+			r.cond.Wait()
+		}
+		if r.stop {
+			r.mu.Unlock()
+			return
+		}
+		gen = r.gen
+		r.mu.Unlock()
+		r.runQuantum(pn, gen)
+		r.mu.Lock()
+		if pn.state == pnDone {
+			r.mu.Unlock()
+			return
+		}
+	}
+}
+
+// runQuantum advances pn until it reaches the quantum boundary (possibly
+// parking and being re-woken by deliveries) or its workload finishes.
+func (r *prun) runQuantum(pn *pnode, gen int) {
+	for {
+		st := pn.n.Step()
+		switch st.Kind {
+		case guest.StepBusy:
+			spin(time.Duration(float64(st.To.Sub(st.From)) * r.cfg.SpinPerGuestBusy))
+
+		case guest.StepSend:
+			r.route(pn, st.Frame, st.To)
+
+		case guest.StepBlocked:
+			limit := r.quantumLimit()
+			target := simtime.MinGuest(st.NextArrival, st.Deadline)
+			target = simtime.MinGuest(target, limit)
+			if target > st.To {
+				// Idle simulation is effectively free in real time: jump.
+				pn.n.WakeAt(target)
+				continue
+			}
+			// Blocked at the boundary with nothing deliverable: park.
+			if !r.park(pn, gen) {
+				return // quantum ended while parked
+			}
+			// Re-woken by a delivery: keep stepping.
+
+		case guest.StepLimit:
+			r.mu.Lock()
+			pn.state = pnAtLimit
+			r.atLimit++
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
+
+		case guest.StepDone:
+			r.mu.Lock()
+			if st.Err != nil && r.wErr == nil {
+				r.wErr = fmt.Errorf("cluster: rank %d: %w", pn.n.ID(), st.Err)
+			}
+			pn.state = pnDone
+			r.done++
+			r.atLimit++
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			return
+		}
+	}
+}
+
+// park blocks pn at the quantum boundary. It reports true if the node was
+// re-woken by a delivery within the same quantum (continue stepping) and
+// false if the quantum ended.
+func (r *prun) park(pn *pnode, gen int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pn.state = pnParked
+	r.atLimit++
+	r.cond.Broadcast()
+	for pn.state == pnParked && r.gen == gen && !r.stop {
+		r.cond.Wait()
+	}
+	if pn.state == pnRunning && r.gen == gen && !r.stop {
+		return true
+	}
+	return false
+}
+
+func (r *prun) quantumLimit() simtime.Guest {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limit
+}
+
+// route is the controller: it computes the frame's exact arrival time and
+// delivers per the paper's cases, with the destination's live clock deciding
+// stragglerhood — the real race the deterministic engine models.
+func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
+	ser := r.cfg.Net.NIC.Serialization(f)
+	depart := simtime.MaxGuest(tSend, pn.txFree).Add(ser)
+	pn.txFree = depart
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	deliver := func(dst int) {
+		dn := r.nodes[dst]
+		var tD simtime.Guest
+		if out := r.cfg.Net.Output; out != nil {
+			atPort := depart.Add(r.cfg.Net.PreQueueLatency(f, pn.n.ID(), dst))
+			start := simtime.MaxGuest(atPort, r.portFree[dst])
+			r.portFree[dst] = start.Add(out.Serialization(f))
+			tD = r.portFree[dst].Add(r.cfg.Net.PostQueueLatency(f))
+		} else {
+			tD = depart.Add(r.cfg.Net.PostTxLatency(f, pn.n.ID(), dst))
+		}
+		r.np++
+		r.stats.Packets++
+		r.stats.Deliveries++
+		var arr simtime.Guest
+		straggler, snapped := false, false
+		switch dn.state {
+		case pnAtLimit, pnDone, pnParked:
+			if tD < r.limit {
+				arr = r.limit
+				straggler, snapped = true, true
+			} else {
+				arr = tD
+			}
+		default: // running
+			g := dn.n.Clock()
+			if tD >= g {
+				arr = tD
+			} else {
+				arr = g
+				straggler = true
+			}
+		}
+		if straggler {
+			r.stats.Stragglers++
+			r.str++
+			r.stats.StragglerDelay += arr.Sub(tD)
+			if snapped {
+				r.stats.QuantumSnaps++
+			}
+		} else {
+			r.stats.Exact++
+		}
+		dn.n.Deliver(f, arr)
+		// A parked destination that can now make progress is re-woken.
+		if dn.state == pnParked && arr <= r.limit {
+			dn.state = pnRunning
+			r.atLimit--
+			r.cond.Broadcast()
+		}
+	}
+
+	if f.Dst.IsBroadcast() {
+		for dst := range r.nodes {
+			if dst != pn.n.ID() {
+				deliver(dst)
+			}
+		}
+		return
+	}
+	dst := f.Dst.Node()
+	if dst < 0 || dst >= len(r.nodes) {
+		r.np++
+		r.stats.Packets++
+		return
+	}
+	deliver(dst)
+}
+
+// spin burns real CPU for d, the real-time analogue of simulation slowdown.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

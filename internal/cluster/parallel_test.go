@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"clustersim/internal/guest"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+func TestParallelPhasesCompletes(t *testing.T) {
+	w := workloads.Phases(4, 200*simtime.Microsecond, 16<<10)
+	res, err := RunParallel(ParallelConfig{
+		Nodes:            4,
+		Guest:            guest.DefaultConfig(),
+		Net:              netmodel.Paper(),
+		Policy:           adaptive(simtime.Microsecond, simtime.Millisecond, 1.05, 0.02),
+		Program:          w.New,
+		SpinPerGuestBusy: 0.02,
+		MaxGuest:         simtime.Guest(10 * simtime.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Metric("time_s"); !ok {
+		t.Error("rank 0 did not report time_s")
+	}
+	if res.Stats.Packets == 0 {
+		t.Error("no packets routed")
+	}
+	if res.Wall <= 0 || res.Wall > 30*time.Second {
+		t.Errorf("implausible wall time %v", res.Wall)
+	}
+	t.Logf("parallel run: guest %v in wall %v, %d quanta (mean Q %v), %d packets, %d stragglers",
+		res.GuestTime, res.Wall, res.Stats.Quanta, res.Stats.MeanQ, res.Stats.Packets, res.Stats.Stragglers)
+}
+
+func TestParallelNASCompletesAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel NAS run is slow")
+	}
+	ep := workloads.DefaultEP()
+	ep.SerialCompute = ep.SerialCompute.Scale(0.02)
+	for _, w := range []workloads.Workload{workloads.EP(ep), workloads.PingPong(20, 4000)} {
+		res, err := RunParallel(ParallelConfig{
+			Nodes:            4,
+			Guest:            guest.DefaultConfig(),
+			Net:              netmodel.Paper(),
+			Policy:           fixed(100 * simtime.Microsecond),
+			Program:          w.New,
+			SpinPerGuestBusy: 0.01,
+			MaxGuest:         simtime.Guest(10 * simtime.Second),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.GuestTime == 0 {
+			t.Errorf("%s: zero guest time", w.Name)
+		}
+	}
+}
+
+func TestParallelDeadlockGuard(t *testing.T) {
+	// A workload that waits forever must be cut off by MaxGuest, not hang.
+	stuck := func(rank, size int) guest.Program {
+		return func(p *guest.Proc) error {
+			if rank == 0 {
+				p.Recv() // nobody ever sends
+			}
+			return nil
+		}
+	}
+	_, err := RunParallel(ParallelConfig{
+		Nodes:    2,
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Policy:   fixed(100 * simtime.Microsecond),
+		Program:  stuck,
+		MaxGuest: simtime.Guest(5 * simtime.Millisecond),
+	})
+	if err == nil {
+		t.Fatal("deadlocked parallel run returned no error")
+	}
+	t.Logf("got expected error: %v", err)
+}
+
+func TestParallelBroadcastAndStray(t *testing.T) {
+	w := workloads.Workload{
+		Name: "pbcast",
+		New: func(rank, size int) guest.Program {
+			return func(p *guest.Proc) error {
+				if rank == 0 {
+					p.Broadcast(0, 256, nil)
+					p.Send(77, 0, 64, nil) // stray MAC
+					return nil
+				}
+				p.Recv()
+				return nil
+			}
+		},
+	}
+	res, err := RunParallel(ParallelConfig{
+		Nodes:    4,
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Policy:   fixed(50 * simtime.Microsecond),
+		Program:  w.New,
+		MaxGuest: simtime.Guest(simtime.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Deliveries != 3 {
+		t.Errorf("expected 3 broadcast deliveries, got %d", res.Stats.Deliveries)
+	}
+	if res.Stats.Packets != 4 { // 3 replicas + 1 stray
+		t.Errorf("expected 4 packets, got %d", res.Stats.Packets)
+	}
+}
+
+func TestParallelWithOutputQueue(t *testing.T) {
+	m := netmodel.Paper()
+	m.Output = &netmodel.OutputQueue{BytesPerSecond: 10e9, Latency: 100 * simtime.Nanosecond}
+	w := workloads.Phases(2, 100*simtime.Microsecond, 16<<10)
+	res, err := RunParallel(ParallelConfig{
+		Nodes:    4,
+		Guest:    guest.DefaultConfig(),
+		Net:      m,
+		Policy:   fixed(20 * simtime.Microsecond),
+		Program:  w.New,
+		MaxGuest: simtime.Guest(simtime.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Packets == 0 {
+		t.Error("no traffic")
+	}
+}
+
+func TestParallelConfigValidation(t *testing.T) {
+	if _, err := RunParallel(ParallelConfig{Nodes: 0}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := RunParallel(ParallelConfig{Nodes: 1}); err == nil {
+		t.Error("missing net/policy/program accepted")
+	}
+}

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+// TestNoStragglersWhenQLeqT verifies the paper's safety condition: with the
+// quantum no larger than the minimum network latency T, no packet can ever
+// become a straggler, for any workload and node count.
+func TestNoStragglersWhenQLeqT(t *testing.T) {
+	ws := []workloads.Workload{
+		workloads.PingPong(30, 9000),
+		workloads.Phases(3, 150*simtime.Microsecond, 32<<10),
+		workloads.Uniform(15, 3000, 20*simtime.Microsecond, 7),
+	}
+	for _, w := range ws {
+		for _, nodes := range []int{2, 5, 8} {
+			cfg := testConfig(nodes, w, fixed(simtime.Microsecond))
+			T := cfg.Net.MinLatency(nodes)
+			if simtime.Duration(simtime.Microsecond) > T {
+				t.Fatalf("test premise broken: Q=1µs > T=%v", T)
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s ×%d: %v", w.Name, nodes, err)
+			}
+			if res.Stats.Stragglers != 0 || res.Stats.QuantumSnaps != 0 {
+				t.Errorf("%s ×%d: Q<=T produced %d stragglers (%d snaps)",
+					w.Name, nodes, res.Stats.Stragglers, res.Stats.QuantumSnaps)
+			}
+			if res.Stats.Deliveries != res.Stats.Exact {
+				t.Errorf("%s ×%d: %d deliveries but %d exact", w.Name, nodes, res.Stats.Deliveries, res.Stats.Exact)
+			}
+		}
+	}
+}
+
+// TestGroundTruthInvariantToHostModel verifies the deeper version of the
+// same theorem: with Q <= T the *guest-time results* cannot depend on host
+// speeds at all — the race that creates stragglers has been synchronized
+// away.
+func TestGroundTruthInvariantToHostModel(t *testing.T) {
+	w := workloads.Phases(3, 100*simtime.Microsecond, 16<<10)
+	base := testConfig(4, w, fixed(simtime.Microsecond))
+	res1, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := base
+	perturbed.Host.Seed = 999
+	perturbed.Host.BusySlowdown = 3
+	perturbed.Host.IdleSlowdown = 2.5
+	perturbed.Host.JitterSigma = 0.5
+	res2, err := Run(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.GuestTime != res2.GuestTime {
+		t.Errorf("ground-truth guest time depends on the host model: %v vs %v", res1.GuestTime, res2.GuestTime)
+	}
+	m1, _ := res1.Metric("time_s")
+	m2, _ := res2.Metric("time_s")
+	if m1 != m2 {
+		t.Errorf("ground-truth metric depends on the host model: %v vs %v", m1, m2)
+	}
+}
+
+// TestDeliveryConservation: every frame sent is delivered exactly once
+// (unicast) or size-1 times (broadcast), and deliveries partition into
+// exact + stragglers.
+func TestDeliveryConservation(t *testing.T) {
+	for _, q := range []simtime.Duration{simtime.Microsecond, 70 * simtime.Microsecond, simtime.Millisecond} {
+		w := workloads.Phases(4, 120*simtime.Microsecond, 24<<10)
+		cfg := testConfig(6, w, fixed(q))
+		cfg.TracePackets = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Deliveries != len(res.Packets) {
+			t.Errorf("q=%v: %d deliveries but %d trace records", q, res.Stats.Deliveries, len(res.Packets))
+		}
+		if res.Stats.Exact+res.Stats.Stragglers != res.Stats.Deliveries {
+			t.Errorf("q=%v: exact %d + stragglers %d != deliveries %d",
+				q, res.Stats.Exact, res.Stats.Stragglers, res.Stats.Deliveries)
+		}
+		for i, p := range res.Packets {
+			if p.Arrival < p.Ideal {
+				t.Fatalf("q=%v: packet %d delivered before its ideal time (%v < %v)", q, i, p.Arrival, p.Ideal)
+			}
+			if !p.Straggler && p.Arrival != p.Ideal {
+				t.Fatalf("q=%v: packet %d marked exact but delivered at %v vs ideal %v", q, i, p.Arrival, p.Ideal)
+			}
+			if p.Ideal < p.SendGuest {
+				t.Fatalf("q=%v: packet %d ideal arrival precedes its send", q, i)
+			}
+		}
+	}
+}
+
+// TestAccuracyMonotonicityCoarse: accuracy error at Q=1ms should not be
+// better than at Q=1µs-ground-truth-equivalents, and host time should fall
+// as Q grows, for a communication-bearing workload.
+func TestAccuracyMonotonicityCoarse(t *testing.T) {
+	w := workloads.Phases(5, 200*simtime.Microsecond, 48<<10)
+	var hosts []simtime.Duration
+	for _, q := range []simtime.Duration{simtime.Microsecond, 10 * simtime.Microsecond, 100 * simtime.Microsecond, simtime.Millisecond} {
+		res, err := Run(testConfig(4, w, fixed(q)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, res.HostTime)
+	}
+	for i := 1; i < len(hosts); i++ {
+		if hosts[i] >= hosts[i-1] {
+			t.Errorf("host time did not fall from Q step %d: %v -> %v", i, hosts[i-1], hosts[i])
+		}
+	}
+}
+
+// TestQuantumTraceConsistency: quantum records tile guest time without gaps
+// and host intervals are non-overlapping and increasing.
+func TestQuantumTraceConsistency(t *testing.T) {
+	w := workloads.Phases(3, 150*simtime.Microsecond, 16<<10)
+	cfg := testConfig(4, w, adaptive(simtime.Microsecond, simtime.Millisecond, 1.05, 0.02))
+	cfg.TraceQuanta = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quanta) != res.Stats.Quanta {
+		t.Fatalf("trace has %d records for %d quanta", len(res.Quanta), res.Stats.Quanta)
+	}
+	for i, q := range res.Quanta {
+		if q.Index != i {
+			t.Errorf("record %d has index %d", i, q.Index)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := res.Quanta[i-1]
+		if q.Start != prev.Start.Add(prev.Q) {
+			t.Errorf("quantum %d starts at %v, expected %v", i, q.Start, prev.Start.Add(prev.Q))
+		}
+		if q.HostStart != prev.HostEnd {
+			t.Errorf("quantum %d host start %v != previous end %v", i, q.HostStart, prev.HostEnd)
+		}
+		if q.HostEnd < q.HostStart {
+			t.Errorf("quantum %d negative host interval", i)
+		}
+	}
+}
+
+// TestAdaptiveQuantumRespondsToTraffic: quanta carrying packets must be
+// followed by smaller quanta; long silences by growth (Algorithm 1 observed
+// end-to-end through the engine).
+func TestAdaptiveQuantumRespondsToTraffic(t *testing.T) {
+	w := workloads.Phases(3, 500*simtime.Microsecond, 16<<10)
+	cfg := testConfig(4, w, adaptive(simtime.Microsecond, simtime.Millisecond, 1.05, 0.02))
+	cfg.TraceQuanta = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := 0
+	for i := 1; i < len(res.Quanta); i++ {
+		prev, cur := res.Quanta[i-1], res.Quanta[i]
+		if prev.Packets > 0 && cur.Q > prev.Q {
+			violations++
+		}
+		if prev.Packets == 0 && cur.Q < prev.Q {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Errorf("%d Algorithm-1 violations in the quantum trace", violations)
+	}
+	if res.Stats.MaxQ <= res.Stats.MinQ {
+		t.Error("adaptive quantum never moved")
+	}
+}
+
+// TestDeterminismProperty: identical configs yield identical results across
+// a range of random workload shapes.
+func TestDeterminismProperty(t *testing.T) {
+	f := func(phases, computeUs, burstKB uint8, seed uint16) bool {
+		w := workloads.Uniform(int(phases%8)+2, int(burstKB)*100+100,
+			simtime.Duration(computeUs%100+10)*simtime.Microsecond, uint64(seed))
+		cfg := testConfig(3, w, adaptive(simtime.Microsecond, 500*simtime.Microsecond, 1.04, 0.05))
+		a, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return a.GuestTime == b.GuestTime && a.HostTime == b.HostTime && a.Stats == b.Stats
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestErrorPaths exercises config validation.
+func TestErrorPaths(t *testing.T) {
+	w := workloads.Silent(simtime.Microsecond)
+	bad := []func(c *Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Net = nil },
+		func(c *Config) { c.Policy = nil },
+		func(c *Config) { c.Program = nil },
+		func(c *Config) { c.Guest.CPUHz = 0 },
+		func(c *Config) { c.Host.BusySlowdown = -1 },
+	}
+	for i, mod := range bad {
+		cfg := testConfig(2, w, fixed(simtime.Microsecond))
+		mod(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGuestLimitAborts(t *testing.T) {
+	// A workload far longer than MaxGuest must abort cleanly.
+	cfg := testConfig(2, workloads.PingPong(1000000, 100), fixed(simtime.Microsecond))
+	cfg.MaxGuest = simtime.Guest(500 * simtime.Microsecond)
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("run past MaxGuest returned no error")
+	}
+}
+
+func TestZeroQuantumPolicyRejected(t *testing.T) {
+	w := workloads.Silent(simtime.Microsecond)
+	cfg := testConfig(2, w, func() quantum.Policy { return quantum.Fixed{Q: 0} })
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero-quantum policy accepted")
+	}
+}
+
+// TestHostTimeBreakdown: the busy/idle/barrier accounting must be sane —
+// non-negative, with barriers equal to quanta × barrier cost plus packet
+// occupancy, and busy time close to total compute × slowdown.
+func TestHostTimeBreakdown(t *testing.T) {
+	w := workloads.Phases(3, 300*simtime.Microsecond, 16<<10)
+	cfg := testConfig(4, w, fixed(20*simtime.Microsecond))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.HostBusy <= 0 || st.HostIdle < 0 || st.HostBarrier <= 0 {
+		t.Fatalf("nonsense breakdown: busy=%v idle=%v barrier=%v", st.HostBusy, st.HostIdle, st.HostBarrier)
+	}
+	wantBarrier := simtime.Duration(st.Quanta)*cfg.Host.BarrierCost +
+		simtime.Duration(st.Packets)*cfg.Host.PacketHostCost
+	if st.HostBarrier != wantBarrier {
+		t.Errorf("barrier accounting %v, want %v", st.HostBarrier, wantBarrier)
+	}
+	// 4 nodes × 3 phases × 300µs of compute at ~20x slowdown, plus protocol
+	// overheads: busy must be within a factor of the nominal compute cost.
+	nominal := simtime.Duration(float64(4*3*300*simtime.Microsecond) * cfg.Host.BusySlowdown)
+	if st.HostBusy < nominal || st.HostBusy > nominal*2 {
+		t.Errorf("busy accounting %v outside [%v, %v]", st.HostBusy, nominal, nominal*2)
+	}
+	t.Logf("breakdown: busy=%v idle=%v barrier=%v (host total %v)", st.HostBusy, st.HostIdle, st.HostBarrier, res.HostTime)
+}

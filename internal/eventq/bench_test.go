@@ -1,0 +1,28 @@
+package eventq
+
+import "testing"
+
+func BenchmarkPushPop(b *testing.B) {
+	var q Queue[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A churning queue of ~64 events, the engine's typical depth.
+		q.Push(int64(i*7919%1000), i)
+		if q.Len() > 64 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkPushRemove(b *testing.B) {
+	var q Queue[int]
+	b.ReportAllocs()
+	var last *Event[int]
+	for i := 0; i < b.N; i++ {
+		e := q.Push(int64(i%1000), i)
+		if last != nil {
+			q.Remove(last)
+		}
+		last = e
+	}
+}

@@ -1,0 +1,110 @@
+// Package eventq provides the discrete-event priority queue used by the
+// co-simulation engine.
+//
+// Events are ordered by (time, priority, insertion sequence); the sequence
+// tiebreak makes the processing order fully deterministic, which the engine
+// relies on for bit-identical replays of the same seed.
+package eventq
+
+import "container/heap"
+
+// Event is a scheduled callback. Lower Time runs first; among equal times,
+// lower Priority runs first; among equal priorities, earlier-scheduled runs
+// first.
+type Event[T any] struct {
+	Time     int64
+	Priority int
+	Payload  T
+
+	seq   uint64
+	index int
+}
+
+// Queue is a deterministic event queue. The zero value is ready to use.
+type Queue[T any] struct {
+	h   eventHeap[T]
+	seq uint64
+}
+
+type eventHeap[T any] []*Event[T]
+
+func (h eventHeap[T]) Len() int { return len(h) }
+
+func (h eventHeap[T]) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap[T]) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap[T]) Push(x any) {
+	e := x.(*Event[T])
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// Push schedules payload at the given time with priority 0 and returns the
+// event handle (usable with Remove).
+func (q *Queue[T]) Push(time int64, payload T) *Event[T] {
+	return q.PushPri(time, 0, payload)
+}
+
+// PushPri schedules payload at the given time and priority.
+func (q *Queue[T]) PushPri(time int64, priority int, payload T) *Event[T] {
+	e := &Event[T]{Time: time, Priority: priority, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Pop removes and returns the earliest event. It panics on an empty queue;
+// callers check Len first.
+func (q *Queue[T]) Pop() *Event[T] {
+	return heap.Pop(&q.h).(*Event[T])
+}
+
+// Peek returns the earliest event without removing it, or nil if empty.
+func (q *Queue[T]) Peek() *Event[T] {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Remove cancels a previously pushed event. Removing an event twice, or one
+// already popped, reports false.
+func (q *Queue[T]) Remove(e *Event[T]) bool {
+	if e == nil || e.index < 0 || e.index >= len(q.h) || q.h[e.index] != e {
+		return false
+	}
+	heap.Remove(&q.h, e.index)
+	return true
+}
+
+// Clear drops all pending events.
+func (q *Queue[T]) Clear() {
+	q.h = q.h[:0]
+}

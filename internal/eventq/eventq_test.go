@@ -1,0 +1,166 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue[string]
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Payload)
+	}
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("wrong order: %v", got)
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(42, i)
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Pop().Payload; got != i {
+			t.Fatalf("equal-time events reordered: got %d at position %d", got, i)
+		}
+	}
+}
+
+func TestPriorityBreaksTies(t *testing.T) {
+	var q Queue[string]
+	q.PushPri(5, 2, "low")
+	q.PushPri(5, 0, "high")
+	q.PushPri(5, 1, "mid")
+	if q.Pop().Payload != "high" || q.Pop().Payload != "mid" || q.Pop().Payload != "low" {
+		t.Error("priority tiebreak broken")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue[int]
+	e1 := q.Push(1, 1)
+	e2 := q.Push(2, 2)
+	e3 := q.Push(3, 3)
+	if !q.Remove(e2) {
+		t.Fatal("Remove returned false for a live event")
+	}
+	if q.Remove(e2) {
+		t.Fatal("double Remove returned true")
+	}
+	if q.Pop() != e1 || q.Pop() != e3 {
+		t.Error("wrong events after removal")
+	}
+	if q.Remove(e1) {
+		t.Error("Remove of popped event returned true")
+	}
+	if q.Remove(nil) {
+		t.Error("Remove(nil) returned true")
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[int]
+	if q.Peek() != nil {
+		t.Error("Peek on empty queue not nil")
+	}
+	q.Push(9, 1)
+	q.Push(4, 2)
+	if q.Peek().Time != 4 {
+		t.Error("Peek returned wrong event")
+	}
+	if q.Len() != 2 {
+		t.Error("Peek consumed an event")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Clear()
+	if q.Len() != 0 || q.Peek() != nil {
+		t.Error("Clear left events behind")
+	}
+}
+
+// Property: popping returns events in nondecreasing time order and exactly
+// the pushed multiset, under random interleavings of pushes, pops and
+// removals.
+func TestPropertyRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue[int64]
+		var live []*Event[int64]
+		var popped []int64
+		pushed := map[int64]int{}
+		removed := map[int64]int{}
+		for op := 0; op < 500; op++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				tm := int64(r.Intn(50))
+				e := q.Push(tm, tm)
+				live = append(live, e)
+				pushed[tm]++
+			case 2:
+				if q.Len() > 0 {
+					popped = append(popped, q.Pop().Payload)
+				}
+			case 3:
+				if len(live) > 0 {
+					i := r.Intn(len(live))
+					if q.Remove(live[i]) {
+						removed[live[i].Payload]++
+					}
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+		}
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop().Payload)
+		}
+		// popped ∪ removed must equal pushed... but pops interleaved with
+		// pushes need not be globally sorted; only each drain segment is.
+		got := map[int64]int{}
+		for _, v := range popped {
+			got[v]++
+		}
+		for v, n := range removed {
+			got[v] += n
+		}
+		for v, n := range pushed {
+			if got[v] != n {
+				return false
+			}
+			delete(got, v)
+		}
+		return len(got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a pure push-then-drain cycle yields a sorted sequence.
+func TestPropertySortedDrain(t *testing.T) {
+	f := func(times []int16) bool {
+		var q Queue[int]
+		for i, tm := range times {
+			q.Push(int64(tm), i)
+		}
+		var got []int64
+		for q.Len() > 0 {
+			got = append(got, q.Pop().Time)
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

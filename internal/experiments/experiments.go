@@ -1,0 +1,274 @@
+// Package experiments defines the paper's evaluation matrix — one runner per
+// table and figure — on top of the cluster engine (see DESIGN.md §5 for the
+// experiment index).
+//
+// The methodology follows §4–5 of the paper exactly: every configuration is
+// compared against the Q = 1µs run of the same seed (the deterministic
+// "ground truth"); accuracy error is the relative deviation of the
+// application's self-reported metric; speedup is the ratio of host execution
+// times.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clustersim/internal/cluster"
+	"clustersim/internal/guest"
+	"clustersim/internal/host"
+	"clustersim/internal/metrics"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+// Env is the shared simulation environment of an experiment: everything
+// except the workload, node count and quantum policy.
+type Env struct {
+	Guest    guest.Config
+	Net      *netmodel.Model
+	Host     host.Params
+	MaxGuest simtime.Guest
+}
+
+// DefaultEnv returns the paper's evaluation environment: 2.6 GHz guests,
+// 10 GB/s NICs with 1µs latency and jumbo frames, a perfect switch, and the
+// calibrated host model.
+func DefaultEnv() Env {
+	return Env{
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Host:     host.DefaultParams(),
+		MaxGuest: simtime.Guest(200 * simtime.Second),
+	}
+}
+
+// Spec names a quantum policy configuration.
+type Spec struct {
+	Label  string
+	Policy func() quantum.Policy
+}
+
+// FixedSpec builds a fixed-quantum configuration labelled like the paper
+// ("10", "100", "1k").
+func FixedSpec(label string, q simtime.Duration) Spec {
+	return Spec{Label: label, Policy: func() quantum.Policy { return quantum.Fixed{Q: q} }}
+}
+
+// DynSpec builds an adaptive configuration.
+func DynSpec(label string, min, max simtime.Duration, inc, dec float64) Spec {
+	return Spec{Label: label, Policy: func() quantum.Policy {
+		return quantum.NewAdaptive(min, max, inc, dec)
+	}}
+}
+
+// GroundTruth is the paper's baseline: Q = 1µs, the only deterministically
+// correct execution.
+func GroundTruth() Spec { return FixedSpec("1", 1*simtime.Microsecond) }
+
+// StandardSpecs returns the five non-baseline configurations of Figures 6–8:
+// fixed 10µs/100µs/1000µs and the two best adaptive schedules.
+func StandardSpecs() []Spec {
+	return []Spec{
+		FixedSpec("10", 10*simtime.Microsecond),
+		FixedSpec("100", 100*simtime.Microsecond),
+		FixedSpec("1k", 1000*simtime.Microsecond),
+		DynSpec("dyn 1k 1.03:0.02", 1*simtime.Microsecond, 1000*simtime.Microsecond, 1.03, 0.02),
+		DynSpec("dyn 1k 1.05:0.02", 1*simtime.Microsecond, 1000*simtime.Microsecond, 1.05, 0.02),
+	}
+}
+
+// NASSuite returns the five NAS kernels of the paper with all compute
+// phases scaled by scale (1.0 = the calibrated defaults).
+func NASSuite(scale float64) []workloads.Workload {
+	ep := workloads.DefaultEP()
+	ep.SerialCompute = ep.SerialCompute.Scale(scale)
+	is := workloads.DefaultIS()
+	is.SerialComputePerIter = is.SerialComputePerIter.Scale(scale)
+	cg := workloads.DefaultCG()
+	cg.SerialComputePerInner = cg.SerialComputePerInner.Scale(scale)
+	mg := workloads.DefaultMG()
+	mg.SerialComputeFinest = mg.SerialComputeFinest.Scale(scale)
+	lu := workloads.DefaultLU()
+	lu.SerialComputePerStep = lu.SerialComputePerStep.Scale(scale)
+	return []workloads.Workload{
+		workloads.EP(ep), workloads.IS(is), workloads.CG(cg),
+		workloads.MG(mg), workloads.LU(lu),
+	}
+}
+
+// NAMDWorkload returns the NAMD skeleton with compute scaled by scale.
+func NAMDWorkload(scale float64) workloads.Workload {
+	p := workloads.DefaultNAMD()
+	p.SerialComputePerStep = p.SerialComputePerStep.Scale(scale)
+	return workloads.NAMD(p)
+}
+
+// Cell is one (workload, nodes, config) measurement of the evaluation grid.
+type Cell struct {
+	Workload string
+	Nodes    int
+	Config   string
+	// Metric is the application's self-reported result (MOPS or seconds).
+	Metric float64
+	// BaseMetric is the ground truth's value of the same metric.
+	BaseMetric float64
+	// AccErr is the relative accuracy error versus ground truth.
+	AccErr float64
+	// Speedup is hostTime(ground truth) / hostTime(this config).
+	Speedup float64
+	// GuestTime/HostTime echo the run's raw outcome.
+	GuestTime simtime.Guest
+	HostTime  simtime.Duration
+	Stats     cluster.Stats
+}
+
+// runOne executes one configuration.
+func runOne(env Env, w workloads.Workload, nodes int, spec Spec, traceQ, traceP bool) (*cluster.Result, error) {
+	cfg := cluster.Config{
+		Nodes:        nodes,
+		Guest:        env.Guest,
+		Net:          env.Net,
+		Host:         env.Host,
+		Policy:       spec.Policy,
+		Program:      w.New,
+		MaxGuest:     env.MaxGuest,
+		TraceQuanta:  traceQ,
+		TracePackets: traceP,
+	}
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s ×%d %q: %w", w.Name, nodes, spec.Label, err)
+	}
+	return res, nil
+}
+
+// job and the pool below fan independent simulations out across host cores;
+// each simulation is itself single-threaded and deterministic.
+type job struct {
+	run  func() error
+	name string
+}
+
+func runAll(jobs []job) error {
+	workers := runtime.NumCPU()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan job)
+	errCh := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				if err := j.run(); err != nil {
+					errCh <- err
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	return nil
+}
+
+// Grid runs every workload × node count × config (plus the ground truth for
+// each workload × node count) and returns one Cell per non-baseline run.
+func Grid(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]Cell, error) {
+	type base struct {
+		metric float64
+		host   simtime.Duration
+	}
+	bases := make(map[string]base)
+	var mu sync.Mutex
+	var jobs []job
+
+	// Ground truths first (they dominate runtime; schedule them all).
+	for _, w := range ws {
+		for _, n := range nodeCounts {
+			w, n := w, n
+			key := fmt.Sprintf("%s/%d", w.Name, n)
+			jobs = append(jobs, job{name: key, run: func() error {
+				res, err := runOne(env, w, n, GroundTruth(), false, false)
+				if err != nil {
+					return err
+				}
+				m, ok := res.Metric(w.Metric)
+				if !ok {
+					return fmt.Errorf("experiments: %s did not report %q", w.Name, w.Metric)
+				}
+				mu.Lock()
+				bases[key] = base{metric: m, host: res.HostTime}
+				mu.Unlock()
+				return nil
+			}})
+		}
+	}
+	if err := runAll(jobs); err != nil {
+		return nil, err
+	}
+
+	var cells []Cell
+	jobs = nil
+	for _, w := range ws {
+		for _, n := range nodeCounts {
+			for _, spec := range specs {
+				w, n, spec := w, n, spec
+				key := fmt.Sprintf("%s/%d", w.Name, n)
+				jobs = append(jobs, job{name: key + spec.Label, run: func() error {
+					res, err := runOne(env, w, n, spec, false, false)
+					if err != nil {
+						return err
+					}
+					m, _ := res.Metric(w.Metric)
+					b := bases[key]
+					c := Cell{
+						Workload:   w.Name,
+						Nodes:      n,
+						Config:     spec.Label,
+						Metric:     m,
+						BaseMetric: b.metric,
+						AccErr:     metrics.RelError(m, b.metric),
+						Speedup:    metrics.Speedup(float64(res.HostTime), float64(b.host)),
+						GuestTime:  res.GuestTime,
+						HostTime:   res.HostTime,
+						Stats:      res.Stats,
+					}
+					mu.Lock()
+					cells = append(cells, c)
+					mu.Unlock()
+					return nil
+				}})
+			}
+		}
+	}
+	if err := runAll(jobs); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// Find returns the cell for (workload, nodes, config), or nil.
+func Find(cells []Cell, workload string, nodes int, config string) *Cell {
+	for i := range cells {
+		c := &cells[i]
+		if c.Workload == workload && c.Nodes == nodes && c.Config == config {
+			return c
+		}
+	}
+	return nil
+}

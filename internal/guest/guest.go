@@ -1,0 +1,425 @@
+// Package guest models one simulated cluster node: a guest machine executing
+// a workload program against a guest clock and a NIC.
+//
+// In the paper each node is a full x86 system under AMD SimNow; here a node
+// executes a *workload program* — ordinary Go code written against the Proc
+// API (Compute, Send, Recv, Sleep) — on its own goroutine. The node and the
+// workload goroutine run strictly hand-over-hand (exactly one of them is
+// ever active), so execution is deterministic and the co-simulation engine
+// observes the node as a sequential state machine:
+//
+//	Step() → "I computed [a,b)" | "I sent a frame" | "I am blocked" |
+//	         "I reached the quantum limit" | "I finished"
+//
+// The engine owns all host-time accounting; this package is purely in the
+// guest clock domain.
+package guest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clustersim/internal/eventq"
+	"clustersim/internal/pkt"
+	"clustersim/internal/simtime"
+)
+
+// atomicGuest is a guest clock readable from any goroutine.
+type atomicGuest struct{ v atomic.Int64 }
+
+func (a *atomicGuest) load() simtime.Guest   { return simtime.Guest(a.v.Load()) }
+func (a *atomicGuest) store(g simtime.Guest) { a.v.Store(int64(g)) }
+
+// Config holds the per-node guest timing parameters.
+type Config struct {
+	// CPUHz is the guest CPU frequency, used by ComputeCycles.
+	CPUHz float64
+	// SendOverhead is the guest CPU time consumed to push one frame through
+	// the guest network stack and NIC driver.
+	SendOverhead simtime.Duration
+	// RecvOverhead is the guest CPU time consumed to receive one frame.
+	RecvOverhead simtime.Duration
+}
+
+// DefaultConfig resembles the paper's nodes: 2.6 GHz Opterons with a
+// TCP-era per-frame software cost well under the 1 µs wire latency.
+func DefaultConfig() Config {
+	return Config{
+		CPUHz:        2.6e9,
+		SendOverhead: 700 * simtime.Nanosecond,
+		RecvOverhead: 700 * simtime.Nanosecond,
+	}
+}
+
+// Program is a workload executed on a node. It runs on its own goroutine and
+// must use only the Proc API to interact with time and the network.
+type Program func(p *Proc) error
+
+// Arrival is a frame as observed by the guest: the frame plus the guest time
+// at which the node's NIC made it visible.
+type Arrival struct {
+	Frame *pkt.Frame
+	Time  simtime.Guest
+}
+
+// StepKind classifies what a node did during one Step call.
+type StepKind int
+
+// Step kinds returned by Node.Step.
+const (
+	// StepBusy: the node executed guest code for [From, To). Call Step
+	// again once the engine has accounted the host time.
+	StepBusy StepKind = iota
+	// StepSend: the node handed Frame to its NIC at guest time To.
+	StepSend
+	// StepBlocked: the node is waiting for a frame (or sleeping) at guest
+	// time To. NextArrival is the earliest queued-but-future arrival
+	// (GuestInfinity if none); Deadline is the recv deadline or sleep
+	// target (GuestInfinity if none). The engine must WakeAt the earliest
+	// relevant guest time.
+	StepBlocked
+	// StepLimit: the node's clock reached the quantum limit.
+	StepLimit
+	// StepDone: the workload finished (possibly with Err).
+	StepDone
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepBusy:
+		return "busy"
+	case StepSend:
+		return "send"
+	case StepBlocked:
+		return "blocked"
+	case StepLimit:
+		return "limit"
+	case StepDone:
+		return "done"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step describes one observable step of a node's execution.
+type Step struct {
+	Kind        StepKind
+	From, To    simtime.Guest
+	Frame       *pkt.Frame    // StepSend only
+	NextArrival simtime.Guest // StepBlocked only
+	Deadline    simtime.Guest // StepBlocked only
+	Err         error         // StepDone only
+}
+
+type opKind int
+
+const (
+	opCompute opKind = iota
+	opSend
+	opRecv
+	opSleep
+	opDone
+)
+
+type request struct {
+	kind     opKind
+	dur      simtime.Duration // compute
+	frame    *pkt.Frame       // send
+	deadline simtime.Guest    // recv deadline / sleep target (absolute)
+	err      error            // done
+}
+
+type reply struct {
+	arrival *Arrival // recv result (nil on deadline expiry)
+	poison  bool     // engine is shutting the node down
+}
+
+// Node is one simulated cluster node.
+//
+// A node is driven by one engine goroutine (Step/WakeAt/BeginQuantum) while
+// frames may be delivered from other goroutines: Deliver and Clock are safe
+// for concurrent use, which the real-time parallel runner relies on. The
+// deterministic engine is single-threaded and pays only uncontended locks.
+type Node struct {
+	id   int
+	size int
+	cfg  Config
+
+	clock atomicGuest
+	limit simtime.Guest
+
+	rxMu    sync.Mutex
+	rx      eventq.Queue[*pkt.Frame]
+	frameID uint64
+
+	reqCh   chan request
+	replyCh chan reply
+
+	pending    *request
+	overhead   simtime.Duration // busy time still owed before pending completes
+	recvArr    *Arrival         // arrival being charged RecvOverhead
+	started    bool
+	done       bool
+	doneErr    error
+	finishedAt simtime.Guest
+
+	program Program
+	metrics map[string]float64
+}
+
+// NewNode creates node id of a cluster with size nodes, running program.
+func NewNode(id, size int, cfg Config, program Program) *Node {
+	return &Node{
+		id:      id,
+		size:    size,
+		cfg:     cfg,
+		program: program,
+		reqCh:   make(chan request),
+		replyCh: make(chan reply),
+		metrics: map[string]float64{},
+	}
+}
+
+// ID returns the node's rank.
+func (n *Node) ID() int { return n.id }
+
+// Clock returns the node's guest clock.
+func (n *Node) Clock() simtime.Guest { return n.clock.load() }
+
+// Done reports whether the workload has finished.
+func (n *Node) Done() bool { return n.done }
+
+// FinishedAt returns the guest time at which the workload finished.
+func (n *Node) FinishedAt() simtime.Guest { return n.finishedAt }
+
+// Err returns the workload's error, if any.
+func (n *Node) Err() error { return n.doneErr }
+
+// Metrics returns the metrics the workload reported via Proc.Report.
+func (n *Node) Metrics() map[string]float64 { return n.metrics }
+
+// BeginQuantum sets the guest-time limit (absolute) for the next quantum.
+func (n *Node) BeginQuantum(limit simtime.Guest) {
+	if limit < n.clock.load() {
+		panic(fmt.Sprintf("guest: node %d quantum limit %v before clock %v", n.id, limit, n.clock.load()))
+	}
+	n.limit = limit
+}
+
+// Deliver makes frame visible to the node at guest time arr. arr may be in
+// the node's already-simulated past (a straggler delivered mid-segment); the
+// frame then becomes visible at the next Recv, exactly as a late interrupt
+// would in a real full-system simulator.
+func (n *Node) Deliver(f *pkt.Frame, arr simtime.Guest) {
+	n.rxMu.Lock()
+	n.rx.Push(int64(arr), f)
+	n.rxMu.Unlock()
+}
+
+// WakeAt advances the node's clock to g (idle time passed while blocked or
+// at a barrier). g must not be before the current clock or past the limit.
+func (n *Node) WakeAt(g simtime.Guest) {
+	if g < n.clock.load() {
+		panic(fmt.Sprintf("guest: node %d woken at %v before clock %v", n.id, g, n.clock.load()))
+	}
+	if g > n.limit {
+		panic(fmt.Sprintf("guest: node %d woken at %v past limit %v", n.id, g, n.limit))
+	}
+	n.clock.store(g)
+}
+
+// Step advances the node until its next externally visible event and reports
+// it. The engine must call BeginQuantum before the first Step of each
+// quantum, account host time for every StepBusy interval, and call Step
+// again afterwards.
+func (n *Node) Step() Step {
+	if n.done {
+		return Step{Kind: StepDone, From: n.clock.load(), To: n.clock.load(), Err: n.doneErr}
+	}
+	if !n.started {
+		n.started = true
+		go n.run()
+	}
+	for {
+		if n.pending == nil {
+			req := <-n.reqCh
+			n.pending = &req
+			switch req.kind {
+			case opCompute:
+				n.overhead = req.dur
+			case opSend:
+				n.overhead = n.cfg.SendOverhead
+			case opRecv, opSleep, opDone:
+				n.overhead = 0
+			}
+		}
+		req := n.pending
+
+		// A recv that already holds its arrival is just finishing its
+		// receive-side CPU overhead.
+		if n.recvArr != nil {
+			if step, ok := n.chargeBusy(); !ok {
+				return step
+			}
+			arr := n.recvArr
+			n.recvArr = nil
+			n.complete(reply{arrival: arr})
+			continue
+		}
+
+		switch req.kind {
+		case opCompute:
+			if step, ok := n.chargeBusy(); !ok {
+				return step
+			}
+			n.complete(reply{})
+
+		case opSend:
+			if step, ok := n.chargeBusy(); !ok {
+				return step
+			}
+			f := req.frame
+			n.complete(reply{})
+			return Step{Kind: StepSend, From: n.clock.load(), To: n.clock.load(), Frame: f}
+
+		case opRecv:
+			now := n.clock.load()
+			n.rxMu.Lock()
+			if e := n.rx.Peek(); e != nil && simtime.Guest(e.Time) <= now {
+				n.rx.Pop()
+				n.rxMu.Unlock()
+				n.recvArr = &Arrival{Frame: e.Payload, Time: simtime.Guest(e.Time)}
+				n.overhead = n.cfg.RecvOverhead
+				continue
+			}
+			next := simtime.GuestInfinity
+			if e := n.rx.Peek(); e != nil {
+				next = simtime.Guest(e.Time)
+			}
+			n.rxMu.Unlock()
+			if req.deadline <= now {
+				// Deadline already passed with nothing deliverable.
+				n.complete(reply{})
+				continue
+			}
+			if next <= now {
+				// Unreachable given the branch above, but keep the
+				// invariant explicit.
+				panic("guest: queued arrival not delivered")
+			}
+			return Step{Kind: StepBlocked, From: now, To: now, NextArrival: next, Deadline: req.deadline}
+
+		case opSleep:
+			now := n.clock.load()
+			if req.deadline <= now {
+				n.complete(reply{})
+				continue
+			}
+			return Step{Kind: StepBlocked, From: now, To: now, NextArrival: simtime.GuestInfinity, Deadline: req.deadline}
+
+		case opDone:
+			n.done = true
+			n.doneErr = req.err
+			n.finishedAt = n.clock.load()
+			n.pending = nil
+			return Step{Kind: StepDone, From: n.finishedAt, To: n.finishedAt, Err: req.err}
+		}
+	}
+}
+
+// chargeBusy consumes the pending op's owed busy time up to the quantum
+// limit. It reports (step, false) when the engine must take over (busy
+// interval to account, or the limit was reached), or (_, true) when the owed
+// time is fully consumed.
+func (n *Node) chargeBusy() (Step, bool) {
+	if n.overhead <= 0 {
+		return Step{}, true
+	}
+	now := n.clock.load()
+	if now >= n.limit {
+		return Step{Kind: StepLimit, From: now, To: now}, false
+	}
+	adv := simtime.MinDuration(n.overhead, n.limit.Sub(now))
+	n.clock.store(now.Add(adv))
+	n.overhead -= adv
+	return Step{Kind: StepBusy, From: now, To: now.Add(adv)}, false
+}
+
+func (n *Node) complete(r reply) {
+	n.pending = nil
+	n.replyCh <- r
+}
+
+type poisonError struct{}
+
+func (poisonError) Error() string { return "guest: node shut down" }
+
+// Shutdown unblocks and terminates a still-running workload goroutine. Safe
+// to call on finished or never-started nodes.
+func (n *Node) Shutdown() {
+	if !n.started || n.done {
+		return
+	}
+	for {
+		select {
+		case req := <-n.reqCh:
+			if req.kind == opDone {
+				n.done = true
+				n.doneErr = req.err
+				n.finishedAt = n.clock.load()
+				return
+			}
+			n.replyCh <- reply{poison: true}
+		default:
+			// The workload is mid-reply or has not issued an op yet; it
+			// will hit the poison on its next interaction. If the node is
+			// currently waiting for a reply, send it.
+			select {
+			case n.replyCh <- reply{poison: true}:
+			case req := <-n.reqCh:
+				if req.kind == opDone {
+					n.done = true
+					n.doneErr = req.err
+					n.finishedAt = n.clock.load()
+					return
+				}
+				n.replyCh <- reply{poison: true}
+			}
+		}
+	}
+}
+
+func (n *Node) run() {
+	p := &Proc{n: n}
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(poisonError); ok {
+					err = poisonError{}
+					return
+				}
+				panic(r)
+			}
+		}()
+		err = n.program(p)
+	}()
+	if _, ok := err.(poisonError); ok {
+		// The engine is tearing the node down; it is draining reqCh, so
+		// report completion through it.
+		n.reqCh <- request{kind: opDone, err: err}
+		return
+	}
+	n.reqCh <- request{kind: opDone, err: err}
+}
+
+// call issues one workload request and waits for the engine's reply.
+func (n *Node) call(req request) reply {
+	n.reqCh <- req
+	r := <-n.replyCh
+	if r.poison {
+		panic(poisonError{})
+	}
+	return r
+}

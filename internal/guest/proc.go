@@ -1,0 +1,138 @@
+package guest
+
+import (
+	"fmt"
+
+	"clustersim/internal/pkt"
+	"clustersim/internal/simtime"
+)
+
+// Proc is the API a workload program uses to interact with its node. All
+// methods must be called only from the workload's own goroutine (the one the
+// node started for its Program).
+type Proc struct {
+	n *Node
+}
+
+// Rank returns this node's ID within the cluster (0-based).
+func (p *Proc) Rank() int { return p.n.id }
+
+// Size returns the number of nodes in the cluster.
+func (p *Proc) Size() int { return p.n.size }
+
+// Now returns the node's current guest time.
+func (p *Proc) Now() simtime.Guest { return p.n.clock.load() }
+
+// Config returns the node's guest configuration.
+func (p *Proc) Config() Config { return p.n.cfg }
+
+// Compute executes d of guest CPU time.
+func (p *Proc) Compute(d simtime.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("guest: Compute(%v) with negative duration", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.n.call(request{kind: opCompute, dur: d})
+}
+
+// ComputeCycles executes the given number of guest CPU cycles at the node's
+// configured frequency.
+func (p *Proc) ComputeCycles(cycles int64) {
+	if cycles <= 0 {
+		return
+	}
+	ns := float64(cycles) / p.n.cfg.CPUHz * 1e9
+	d := simtime.Duration(ns)
+	if d == 0 {
+		d = 1
+	}
+	p.Compute(d)
+}
+
+// Send hands a frame of size payload bytes to the NIC, addressed to node
+// dst. It costs the configured per-frame send overhead of guest CPU time and
+// returns once the frame has been queued (the NIC transmits asynchronously).
+func (p *Proc) Send(dst int, proto pkt.Proto, size int, data []byte) {
+	if size < 0 {
+		panic(fmt.Sprintf("guest: Send with negative size %d", size))
+	}
+	p.n.frameID++
+	f := &pkt.Frame{
+		Src:   pkt.NodeMAC(p.n.id),
+		Dst:   pkt.NodeMAC(dst),
+		Proto: proto,
+		Size:  size,
+		Data:  data,
+		ID:    uint64(p.n.id)<<40 | p.n.frameID,
+	}
+	p.n.call(request{kind: opSend, frame: f})
+}
+
+// Broadcast sends a frame to every other node via the link-layer broadcast
+// address.
+func (p *Proc) Broadcast(proto pkt.Proto, size int, data []byte) {
+	p.n.frameID++
+	f := &pkt.Frame{
+		Src:   pkt.NodeMAC(p.n.id),
+		Dst:   pkt.Broadcast,
+		Proto: proto,
+		Size:  size,
+		Data:  data,
+		ID:    uint64(p.n.id)<<40 | p.n.frameID,
+	}
+	p.n.call(request{kind: opSend, frame: f})
+}
+
+// Recv blocks until the next frame is visible to the guest and returns it
+// together with its guest arrival time. Frames are delivered in arrival
+// order regardless of sender.
+func (p *Proc) Recv() Arrival {
+	r := p.n.call(request{kind: opRecv, deadline: simtime.GuestInfinity})
+	if r.arrival == nil {
+		panic("guest: Recv returned without an arrival")
+	}
+	return *r.arrival
+}
+
+// RecvDeadline blocks until a frame is visible or the guest clock reaches
+// deadline, whichever comes first. ok reports whether a frame was received.
+func (p *Proc) RecvDeadline(deadline simtime.Guest) (a Arrival, ok bool) {
+	r := p.n.call(request{kind: opRecv, deadline: deadline})
+	if r.arrival == nil {
+		return Arrival{}, false
+	}
+	return *r.arrival, true
+}
+
+// TryRecv returns a frame if one is already visible, without blocking
+// (beyond the receive CPU overhead when a frame is consumed).
+func (p *Proc) TryRecv() (a Arrival, ok bool) {
+	return p.RecvDeadline(p.n.clock.load())
+}
+
+// Sleep idles the guest for d.
+func (p *Proc) Sleep(d simtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.n.call(request{kind: opSleep, deadline: p.n.clock.load().Add(d)})
+}
+
+// SleepUntil idles the guest until the absolute time t (no-op if already
+// past).
+func (p *Proc) SleepUntil(t simtime.Guest) {
+	if t <= p.n.clock.load() {
+		return
+	}
+	p.n.call(request{kind: opSleep, deadline: t})
+}
+
+// Report records a named application metric (e.g. "mops", "walltime_s") on
+// this node. The experiment harness reads metrics after the run; by
+// convention rank 0 reports the application-level result, mirroring how the
+// paper reads the benchmark's self-reported numbers.
+func (p *Proc) Report(name string, value float64) {
+	p.n.metrics[name] = value
+}

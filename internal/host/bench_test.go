@@ -1,0 +1,35 @@
+package host
+
+import (
+	"testing"
+
+	"clustersim/internal/simtime"
+)
+
+func BenchmarkHostCostOneWindow(b *testing.B) {
+	m := NewModel(DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := simtime.Guest(i%1000) * 10
+		m.HostCost(i%8, g, g+5000, Busy)
+	}
+}
+
+func BenchmarkHostCostLongQuantum(b *testing.B) {
+	// A 1000µs quantum spans 100 jitter windows.
+	m := NewModel(DefaultParams())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := simtime.Guest(i%16) * simtime.Guest(simtime.Millisecond)
+		m.HostCost(i%8, g, g+simtime.Guest(simtime.Millisecond), Busy)
+	}
+}
+
+func BenchmarkGuestAt(b *testing.B) {
+	m := NewModel(DefaultParams())
+	cost := m.HostCost(3, 0, simtime.Guest(100*simtime.Microsecond), Busy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.GuestAt(3, 0, cost/2, Busy, simtime.Guest(100*simtime.Microsecond))
+	}
+}

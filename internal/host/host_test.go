@@ -1,0 +1,142 @@
+package host
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustersim/internal/simtime"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	return p
+}
+
+func TestHostCostNoJitter(t *testing.T) {
+	p := testParams()
+	p.JitterSigma = 0
+	m := NewModel(p)
+	got := m.HostCost(0, 0, simtime.Guest(100*simtime.Microsecond), Busy)
+	want := simtime.Duration(float64(100*simtime.Microsecond) * p.BusySlowdown)
+	if got != want {
+		t.Errorf("busy cost %v, want %v", got, want)
+	}
+	gotIdle := m.HostCost(0, 0, simtime.Guest(100*simtime.Microsecond), Idle)
+	wantIdle := simtime.Duration(float64(100*simtime.Microsecond) * p.IdleSlowdown)
+	if gotIdle != wantIdle {
+		t.Errorf("idle cost %v, want %v", gotIdle, wantIdle)
+	}
+}
+
+func TestHostCostAdditive(t *testing.T) {
+	m := NewModel(testParams())
+	a := simtime.Guest(13 * simtime.Microsecond)
+	b := simtime.Guest(47 * simtime.Microsecond)
+	c := simtime.Guest(112 * simtime.Microsecond)
+	whole := m.HostCost(3, a, c, Busy)
+	split := m.HostCost(3, a, b, Busy) + m.HostCost(3, b, c, Busy)
+	diff := int64(whole - split)
+	if diff < -2 || diff > 2 {
+		t.Errorf("cost not additive: whole %v vs split %v", whole, split)
+	}
+}
+
+func TestGuestAtInvertsHostCost(t *testing.T) {
+	m := NewModel(testParams())
+	f := func(startUs, lenUs uint16, node uint8) bool {
+		g0 := simtime.Guest(startUs) * 1000
+		g1 := g0 + simtime.Guest(lenUs%2000+1)*1000
+		cost := m.HostCost(int(node), g0, g1, Busy)
+		back := m.GuestAt(int(node), g0, cost, Busy, simtime.GuestInfinity)
+		d := int64(back - g1)
+		if d < 0 {
+			d = -d
+		}
+		return d <= 2 // rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuestAtRespectsLimit(t *testing.T) {
+	m := NewModel(testParams())
+	limit := simtime.Guest(50 * simtime.Microsecond)
+	got := m.GuestAt(0, 0, simtime.Duration(1<<50), Busy, limit)
+	if got != limit {
+		t.Errorf("GuestAt overflowed the limit: %v", got)
+	}
+	if m.GuestAt(0, limit, 1000, Busy, limit) != limit {
+		t.Error("GuestAt from the limit should stay at the limit")
+	}
+	if m.GuestAt(0, 10, 0, Busy, limit) != 10 {
+		t.Error("GuestAt with zero budget should not move")
+	}
+}
+
+func TestJitterMeanNearOne(t *testing.T) {
+	m := NewModel(testParams())
+	// Average cost across many windows should approach the slowdown.
+	g1 := simtime.Guest(50 * simtime.Millisecond)
+	cost := m.HostCost(1, 0, g1, Busy)
+	ratio := float64(cost) / (float64(g1) * m.Params().BusySlowdown)
+	if math.Abs(ratio-1) > 0.05 {
+		t.Errorf("long-run jitter bias %.3f (want ≈1)", ratio)
+	}
+}
+
+func TestJitterVariesAcrossNodesAndWindows(t *testing.T) {
+	m := NewModel(testParams())
+	g := simtime.Guest(10 * simtime.Microsecond) // one window
+	c0 := m.HostCost(0, 0, g, Busy)
+	c1 := m.HostCost(1, 0, g, Busy)
+	if c0 == c1 {
+		t.Error("two nodes drew identical jitter in the same window (astronomically unlikely)")
+	}
+	c0b := m.HostCost(0, simtime.Guest(10*simtime.Microsecond), simtime.Guest(20*simtime.Microsecond), Busy)
+	if c0 == c0b {
+		t.Error("two windows drew identical jitter (astronomically unlikely)")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	a := NewModel(testParams())
+	b := NewModel(testParams())
+	g := simtime.Guest(123456)
+	if a.HostCost(5, 0, g, Busy) != b.HostCost(5, 0, g, Busy) {
+		t.Error("same params produced different costs")
+	}
+	p2 := testParams()
+	p2.Seed++
+	c := NewModel(p2)
+	if a.HostCost(5, 0, g, Busy) == c.HostCost(5, 0, g, Busy) {
+		t.Error("different seeds produced identical costs (astronomically unlikely)")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(p *Params){
+		func(p *Params) { p.BusySlowdown = 0 },
+		func(p *Params) { p.IdleSlowdown = -1 },
+		func(p *Params) { p.JitterSigma = -0.1 },
+		func(p *Params) { p.JitterPeriod = 0 },
+		func(p *Params) { p.BarrierCost = -1 },
+	}
+	for i, mod := range bad {
+		p := testParams()
+		mod(&p)
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if err := testParams().Validate(); err != nil {
+		t.Errorf("default params rejected: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Busy.String() != "busy" || Idle.String() != "idle" {
+		t.Error("mode strings broken")
+	}
+}

@@ -1,0 +1,93 @@
+package host
+
+import (
+	"testing"
+
+	"clustersim/internal/simtime"
+)
+
+func sampledParams(frac float64) Params {
+	p := DefaultParams()
+	p.JitterSigma = 0 // isolate the sampling arithmetic
+	p.Sampling = &Sampling{
+		Period:         1 * simtime.Millisecond,
+		DetailFraction: frac,
+		FastSlowdown:   2,
+	}
+	return p
+}
+
+func TestSamplingBlendsSlowdowns(t *testing.T) {
+	m := NewModel(sampledParams(0.25))
+	// One full period: 250µs detailed at 20x + 750µs fast at 2x.
+	got := m.HostCost(0, 0, simtime.Guest(simtime.Millisecond), Busy)
+	want := simtime.Duration(250*20+750*2) * simtime.Microsecond
+	if got != want {
+		t.Errorf("sampled cost %v, want %v", got, want)
+	}
+}
+
+func TestSamplingPhaseBoundariesInsideWindow(t *testing.T) {
+	// A segment straddling the detail/fast boundary must split exactly.
+	m := NewModel(sampledParams(0.25))
+	a := m.HostCost(0, simtime.Guest(200*simtime.Microsecond), simtime.Guest(300*simtime.Microsecond), Busy)
+	want := simtime.Duration(50*20+50*2) * simtime.Microsecond
+	if a != want {
+		t.Errorf("straddling cost %v, want %v", a, want)
+	}
+}
+
+func TestSamplingIdleUnaffected(t *testing.T) {
+	m := NewModel(sampledParams(0.25))
+	got := m.HostCost(0, 0, simtime.Guest(simtime.Millisecond), Idle)
+	want := simtime.Duration(float64(simtime.Millisecond) * m.Params().IdleSlowdown)
+	if got != want {
+		t.Errorf("idle cost %v, want %v", got, want)
+	}
+}
+
+func TestSamplingGuestAtInverts(t *testing.T) {
+	p := sampledParams(0.3)
+	p.JitterSigma = 0.22
+	m := NewModel(p)
+	for _, g0 := range []simtime.Guest{0, 123456, simtime.Guest(700 * simtime.Microsecond)} {
+		g1 := g0 + simtime.Guest(1377*simtime.Microsecond)
+		cost := m.HostCost(3, g0, g1, Busy)
+		back := m.GuestAt(3, g0, cost, Busy, simtime.GuestInfinity)
+		d := int64(back - g1)
+		if d < -2 || d > 2 {
+			t.Errorf("GuestAt did not invert HostCost with sampling: %v vs %v", back, g1)
+		}
+	}
+}
+
+func TestSamplingValidation(t *testing.T) {
+	bad := []Sampling{
+		{Period: 0, DetailFraction: 0.5, FastSlowdown: 2},
+		{Period: simtime.Millisecond, DetailFraction: -0.1, FastSlowdown: 2},
+		{Period: simtime.Millisecond, DetailFraction: 1.1, FastSlowdown: 2},
+		{Period: simtime.Millisecond, DetailFraction: 0.5, FastSlowdown: 0},
+	}
+	for i, s := range bad {
+		p := DefaultParams()
+		p.Sampling = &s
+		if p.Validate() == nil {
+			t.Errorf("bad sampling %d accepted", i)
+		}
+	}
+	good := sampledParams(0.5)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid sampling rejected: %v", err)
+	}
+}
+
+func TestSamplingFullDetailMatchesPlain(t *testing.T) {
+	plain := NewModel(DefaultParams())
+	p := DefaultParams()
+	p.Sampling = &Sampling{Period: simtime.Millisecond, DetailFraction: 1, FastSlowdown: 2}
+	sampled := NewModel(p)
+	g1 := simtime.Guest(3777 * simtime.Microsecond)
+	if plain.HostCost(1, 0, g1, Busy) != sampled.HostCost(1, 0, g1, Busy) {
+		t.Error("DetailFraction=1 should match the unsampled model")
+	}
+}

@@ -1,0 +1,197 @@
+package mpi
+
+import (
+	"fmt"
+
+	"clustersim/internal/msg"
+	"clustersim/internal/rng"
+)
+
+// Group is a sub-communicator: the collectives of Comm restricted to an
+// ordered subset of the world's ranks (the analogue of an MPI communicator
+// created with MPI_Comm_split — e.g. the row and column communicators of
+// 2-D decomposed solvers).
+//
+// Every member must construct the Group with the identical rank list; the
+// group's tag space is salted with a hash of that list, so collectives on
+// different groups (and on the world communicator) can progress unmatched
+// through the same endpoints without cross-talk.
+type Group struct {
+	world *Comm
+	ranks []int // world ranks, in group order
+	rank  int   // this process's rank within the group
+	salt  int
+	seq   int
+}
+
+// Sub returns the sub-communicator for the given ordered world ranks. The
+// calling process must be listed. All members must pass the same list.
+func (c *Comm) Sub(ranks []int) *Group {
+	g := &Group{world: c, ranks: append([]int(nil), ranks...), rank: -1}
+	h := uint64(14695981039346656037)
+	for i, r := range g.ranks {
+		c.checkPeer(r)
+		if r == c.rank {
+			g.rank = i
+		}
+		h = rng.Hash(h, uint64(i), uint64(r))
+	}
+	if g.rank < 0 {
+		panic(fmt.Sprintf("mpi: rank %d not a member of sub-communicator %v", c.rank, ranks))
+	}
+	// Keep the salted tags inside the collective range but away from the
+	// world communicator's own sequence space.
+	g.salt = int(h % (collTagMod / 2))
+	return g
+}
+
+// Rank returns this process's rank within the group.
+func (g *Group) Rank() int { return g.rank }
+
+// Size returns the group size.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// WorldRank translates a group rank to the world rank.
+func (g *Group) WorldRank(r int) int { return g.ranks[r] }
+
+func (g *Group) nextTag() int {
+	t := collTagBase + collTagMod/2 + (g.salt+g.seq)%(collTagMod/2)
+	g.seq++
+	return t
+}
+
+func (g *Group) send(to, tag, size int) {
+	g.world.ep.Send(g.ranks[to], tag, size)
+}
+
+func (g *Group) sendPayload(to, tag int, payload []byte) {
+	g.world.ep.SendPayload(g.ranks[to], tag, payload)
+}
+
+func (g *Group) recv(from, tag int) *msg.Message {
+	return g.world.ep.Recv(g.ranks[from], tag)
+}
+
+// Barrier executes a dissemination barrier within the group.
+func (g *Group) Barrier() {
+	tag := g.nextTag()
+	n := len(g.ranks)
+	for k := 1; k < n; k <<= 1 {
+		g.send((g.rank+k)%n, tag, 0)
+		g.recv((g.rank-k+n)%n, tag)
+	}
+}
+
+// Allreduce models an allreduce of size bytes within the group (recursive
+// doubling with pre/post folding, as on the world communicator).
+func (g *Group) Allreduce(size int) {
+	g.allreduce(size, nil)
+}
+
+// AllreduceSum performs a real float64 sum-allreduce within the group.
+func (g *Group) AllreduceSum(vals []float64) []float64 {
+	acc := make([]float64, len(vals))
+	copy(acc, vals)
+	g.allreduce(8*len(vals), acc)
+	return acc
+}
+
+func (g *Group) allreduce(size int, acc []float64) {
+	tag := g.nextTag()
+	n := len(g.ranks)
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+
+	sendTo := func(peer int) {
+		if acc != nil {
+			g.sendPayload(peer, tag, encodeF64(acc))
+		} else {
+			g.send(peer, tag, size)
+		}
+	}
+	recvFold := func(peer int) {
+		m := g.recv(peer, tag)
+		if acc != nil {
+			sumInto(acc, decodeF64(m.Payload))
+		}
+	}
+	recvCopy := func(peer int) {
+		m := g.recv(peer, tag)
+		if acc != nil {
+			copy(acc, decodeF64(m.Payload))
+		}
+	}
+
+	if g.rank >= pof2 {
+		sendTo(g.rank - pof2)
+		recvCopy(g.rank - pof2)
+		return
+	}
+	if g.rank < rem {
+		recvFold(g.rank + pof2)
+	}
+	for mask := 1; mask < pof2; mask <<= 1 {
+		peer := g.rank ^ mask
+		sendTo(peer)
+		recvFold(peer)
+	}
+	if g.rank < rem {
+		sendTo(g.rank + pof2)
+	}
+}
+
+// Bcast broadcasts size bytes from the group-rank root via a binomial tree.
+func (g *Group) Bcast(root, size int) {
+	if root < 0 || root >= len(g.ranks) {
+		panic(fmt.Sprintf("mpi: group root %d out of range [0,%d)", root, len(g.ranks)))
+	}
+	tag := g.nextTag()
+	n := len(g.ranks)
+	vrank := (g.rank - root + n) % n
+	if vrank != 0 {
+		parent := (vrank&(vrank-1) + root) % n
+		g.recv(parent, tag)
+	}
+	lsb := vrank & (-vrank)
+	if vrank == 0 {
+		lsb = nextPow2(n)
+	}
+	for k := lsb >> 1; k >= 1; k >>= 1 {
+		child := vrank + k
+		if child < n {
+			g.send((child+root)%n, tag, size)
+		}
+	}
+}
+
+// Alltoall exchanges size bytes between every pair of group members using
+// the pairwise-exchange schedule.
+func (g *Group) Alltoall(size int) {
+	tag := g.nextTag()
+	n := len(g.ranks)
+	if n == 1 {
+		return
+	}
+	isPow2 := n&(n-1) == 0
+	for i := 1; i < n; i++ {
+		var sendPeer, recvPeer int
+		if isPow2 {
+			sendPeer = g.rank ^ i
+			recvPeer = sendPeer
+		} else {
+			sendPeer = (g.rank + i) % n
+			recvPeer = (g.rank - i + n) % n
+		}
+		g.send(sendPeer, tag, size)
+		g.recv(recvPeer, tag)
+	}
+}
+
+// Sendrecv exchanges size-only messages with a group peer.
+func (g *Group) Sendrecv(peer, tag, size int) *msg.Message {
+	g.send(peer, tag, size)
+	return g.recv(peer, tag)
+}

@@ -1,0 +1,127 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"clustersim/internal/mpi"
+	"clustersim/internal/simtime"
+)
+
+func TestGroupAllreduceSumPerRow(t *testing.T) {
+	// A 2-D 2×3 decomposition: row groups {0,1,2} and {3,4,5}; each row
+	// sums its own ranks.
+	var mu sync.Mutex
+	got := map[int]float64{}
+	run(t, 6, simtime.Microsecond, func(c *mpi.Comm) error {
+		row := c.Rank() / 3
+		ranks := []int{row * 3, row*3 + 1, row*3 + 2}
+		g := c.Sub(ranks)
+		out := g.AllreduceSum([]float64{float64(c.Rank())})
+		mu.Lock()
+		got[c.Rank()] = out[0]
+		mu.Unlock()
+		return nil
+	})
+	for r := 0; r < 6; r++ {
+		want := 3.0 // 0+1+2
+		if r >= 3 {
+			want = 12 // 3+4+5
+		}
+		if got[r] != want {
+			t.Errorf("rank %d row sum %v, want %v", r, got[r], want)
+		}
+	}
+}
+
+func TestGroupColumnAndRowCoexist(t *testing.T) {
+	// Every rank participates in a row group and a column group of a 2×2
+	// grid, running collectives on both plus the world — no cross-talk.
+	var mu sync.Mutex
+	rows := map[int]float64{}
+	cols := map[int]float64{}
+	run(t, 4, 300*simtime.Microsecond, func(c *mpi.Comm) error {
+		r, cl := c.Rank()/2, c.Rank()%2
+		rowG := c.Sub([]int{r * 2, r*2 + 1})
+		colG := c.Sub([]int{cl, cl + 2})
+		rowSum := rowG.AllreduceSum([]float64{float64(c.Rank())})
+		c.Barrier()
+		colSum := colG.AllreduceSum([]float64{float64(c.Rank())})
+		c.AllreduceSum([]float64{1})
+		mu.Lock()
+		rows[c.Rank()] = rowSum[0]
+		cols[c.Rank()] = colSum[0]
+		mu.Unlock()
+		return nil
+	})
+	wantRow := map[int]float64{0: 1, 1: 1, 2: 5, 3: 5}
+	wantCol := map[int]float64{0: 2, 1: 4, 2: 2, 3: 4}
+	for r := 0; r < 4; r++ {
+		if rows[r] != wantRow[r] || cols[r] != wantCol[r] {
+			t.Errorf("rank %d row=%v col=%v want %v/%v", r, rows[r], cols[r], wantRow[r], wantCol[r])
+		}
+	}
+}
+
+func TestGroupBarrierBcastAlltoall(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		n := n
+		run(t, 2*n, simtime.Microsecond, func(c *mpi.Comm) error {
+			half := c.Rank() / n
+			ranks := make([]int, n)
+			for i := range ranks {
+				ranks[i] = half*n + i
+			}
+			g := c.Sub(ranks)
+			if g.Size() != n {
+				return fmt.Errorf("group size %d", g.Size())
+			}
+			if g.WorldRank(g.Rank()) != c.Rank() {
+				return fmt.Errorf("world rank translation broken")
+			}
+			g.Barrier()
+			g.Bcast(0, 4096)
+			g.Bcast(n-1, 512)
+			g.Alltoall(1024)
+			g.Allreduce(64)
+			if g.Rank() == 0 {
+				g.Sendrecv(n-1, 77, 256)
+			} else if g.Rank() == n-1 {
+				g.Sendrecv(0, 77, 256)
+			}
+			return nil
+		})
+	}
+}
+
+func TestGroupNonMemberPanics(t *testing.T) {
+	run(t, 3, simtime.Microsecond, func(c *mpi.Comm) error {
+		if c.Rank() != 2 {
+			return nil
+		}
+		panicked := false
+		func() {
+			defer func() { panicked = recover() != nil }()
+			c.Sub([]int{0, 1}) // rank 2 is not a member
+		}()
+		if !panicked {
+			return fmt.Errorf("non-member Sub did not panic")
+		}
+		return nil
+	})
+}
+
+func TestGroupSingleton(t *testing.T) {
+	run(t, 2, simtime.Microsecond, func(c *mpi.Comm) error {
+		g := c.Sub([]int{c.Rank()})
+		g.Barrier()
+		g.Alltoall(100)
+		g.Bcast(0, 100)
+		out := g.AllreduceSum([]float64{7})
+		if out[0] != 7 {
+			return fmt.Errorf("singleton allreduce %v", out[0])
+		}
+		return nil
+	})
+}

@@ -1,0 +1,52 @@
+package msg_test
+
+import (
+	"testing"
+
+	"clustersim/internal/cluster"
+	"clustersim/internal/guest"
+	"clustersim/internal/host"
+	"clustersim/internal/msg"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/pkt"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+)
+
+// BenchmarkMessageStream measures end-to-end message-layer throughput
+// through the full simulator: 1 MiB of 32 KiB messages per run.
+func BenchmarkMessageStream(b *testing.B) {
+	const msgs, size = 32, 32 << 10
+	cfg := cluster.Config{
+		Nodes: 2,
+		Guest: guest.DefaultConfig(),
+		Net:   netmodel.Paper(),
+		Host:  host.DefaultParams(),
+		Policy: func() quantum.Policy {
+			return quantum.Fixed{Q: 100 * simtime.Microsecond}
+		},
+		Program: func(rank, clusterSize int) guest.Program {
+			return func(p *guest.Proc) error {
+				ep := msg.New(p, pkt.DefaultMTU)
+				if rank == 0 {
+					for i := 0; i < msgs; i++ {
+						ep.Send(1, 1, size)
+					}
+					return nil
+				}
+				for i := 0; i < msgs; i++ {
+					ep.Recv(0, 1)
+				}
+				return nil
+			}
+		},
+		MaxGuest: simtime.Guest(10 * simtime.Second),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(msgs * size)
+}

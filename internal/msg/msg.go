@@ -1,0 +1,581 @@
+// Package msg implements the reliable message layer the simulated workloads
+// communicate over — the simulator's stand-in for the paper's LAM/MPI over
+// TCP/IP transport.
+//
+// A message of arbitrary size addressed to (dst, tag) is fragmented into
+// link-layer frames no larger than the MTU, carried over the guest NIC, and
+// reassembled at the destination, where messages are matched by (src, tag)
+// with FIFO order per (src, tag) pair.
+//
+// Two transfer protocols are modelled, mirroring real MPI transports:
+//
+//   - eager: messages up to EagerMax are pushed immediately (the paper's
+//     switch is perfect, so no acknowledgements are needed);
+//   - rendezvous: larger messages first send a request-to-send (RTS)
+//     control frame and transfer data only after the destination's protocol
+//     engine answers clear-to-send (CTS). This creates the multi-trip
+//     dependence chains that make alltoall-heavy workloads (NAS-IS) the
+//     paper's accuracy worst case.
+//
+// As an extension beyond the paper's perfect switch, the endpoint also
+// supports a Reliable mode — per-message acknowledgements, duplicate
+// suppression and timeout-driven retransmission — used together with the
+// engine's loss injection to demonstrate the stack survives frame loss.
+//
+// Everything here is guest code: fragmentation, control frames and matching
+// consume guest CPU time through the per-frame send/receive overheads of the
+// node model, exactly where a real guest protocol stack would burn cycles.
+package msg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"clustersim/internal/guest"
+	"clustersim/internal/pkt"
+	"clustersim/internal/simtime"
+)
+
+// Any matches any source or any tag in Recv.
+const Any = -1
+
+// headerBytes is the wire size of the fragment/control header.
+const headerBytes = 40
+
+// DefaultEagerMax is the default eager/rendezvous threshold, matching the
+// common TCP-transport defaults of 2000s-era MPI implementations.
+const DefaultEagerMax = 64 << 10
+
+// DefaultRetransmitTimeout is the reliable-mode retransmission timer.
+const DefaultRetransmitTimeout = 200 * simtime.Microsecond
+
+// frame kinds.
+const (
+	kindData byte = iota
+	kindRTS
+	kindCTS
+	kindAck
+)
+
+// Message is a fully reassembled message.
+type Message struct {
+	Src, Tag int
+	// Size is the message payload size in bytes.
+	Size int
+	// Arrival is the guest time the final fragment became visible.
+	Arrival simtime.Guest
+	// Payload carries message bytes when the sender attached any
+	// (size-only messages have a nil Payload).
+	Payload []byte
+}
+
+type msgKey struct {
+	src   int
+	msgID uint64
+}
+
+type partial struct {
+	src, tag int
+	size     int
+	seq      uint32
+	received int
+	payload  []byte
+	gotData  bool
+	// gotOff marks byte offsets already folded in, so retransmitted
+	// fragments are not double-counted.
+	gotOff map[int]bool
+}
+
+// outMsg is a reliable-mode in-flight message on the sender.
+type outMsg struct {
+	id       uint64
+	dst, tag int
+	size     int
+	payload  []byte
+	seq      uint32
+	// needCTS marks a rendezvous transfer whose handshake is incomplete:
+	// timeouts resend the RTS instead of the data.
+	needCTS  bool
+	deadline simtime.Guest
+	retries  int
+}
+
+// Config tunes an endpoint's protocol behaviour.
+type Config struct {
+	// MTU is the frame payload capacity in bytes (e.g. pkt.DefaultMTU).
+	MTU int
+	// EagerMax is the largest message sent eagerly; bigger messages use the
+	// rendezvous protocol. Negative disables rendezvous entirely.
+	EagerMax int
+	// Reliable enables acknowledgements, duplicate suppression and
+	// retransmission. All endpoints of a cluster must agree on this.
+	Reliable bool
+	// RetransmitTimeout is the guest-time retransmission timer (reliable
+	// mode); zero means DefaultRetransmitTimeout.
+	RetransmitTimeout simtime.Duration
+}
+
+// DefaultConfig returns jumbo frames with the standard eager threshold and
+// no reliability (the paper's perfect network needs none).
+func DefaultConfig() Config {
+	return Config{MTU: pkt.DefaultMTU, EagerMax: DefaultEagerMax}
+}
+
+// Endpoint is one node's message-layer endpoint. It must be used only from
+// the node's own workload goroutine.
+type Endpoint struct {
+	p   *guest.Proc
+	cfg Config
+
+	nextMsgID uint64
+	// ready holds reassembled messages not yet matched, in completion
+	// order.
+	ready []*Message
+	// partials holds in-flight reassembly state.
+	partials map[msgKey]*partial
+	// cts holds clear-to-send grants received for our pending rendezvous
+	// sends.
+	cts map[uint64]bool
+
+	// Reliable-mode state. unackedIDs preserves send order so timeout scans
+	// are deterministic (never iterate a map).
+	unacked   map[uint64]*outMsg
+	unackedID []uint64
+	// completed remembers fully received (src, msgID) pairs so duplicates
+	// are re-acknowledged but not re-delivered.
+	completed map[msgKey]bool
+
+	// Per-destination sequence numbers enforce MPI-style non-overtaking
+	// delivery even when retransmissions or rendezvous/eager mixing let a
+	// later message finish reassembly first.
+	txSeq  map[int]uint32
+	rxNext map[int]uint32
+	rxHold map[int]map[uint32]*Message
+
+	// stats
+	framesSent, framesRecv int
+	rtsSent, ctsSent       int
+	acksSent, retransmits  int
+	duplicates             int
+}
+
+// New creates an endpoint over p with the given MTU and the default eager
+// threshold.
+func New(p *guest.Proc, mtu int) *Endpoint {
+	return NewWithConfig(p, Config{MTU: mtu, EagerMax: DefaultEagerMax})
+}
+
+// NewWithConfig creates an endpoint with explicit protocol configuration.
+// It panics if the MTU cannot fit the fragment header: that is a
+// configuration bug.
+func NewWithConfig(p *guest.Proc, cfg Config) *Endpoint {
+	if cfg.MTU <= headerBytes {
+		panic(fmt.Sprintf("msg: MTU %d cannot carry the %d-byte fragment header", cfg.MTU, headerBytes))
+	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = DefaultRetransmitTimeout
+	}
+	return &Endpoint{
+		p:         p,
+		cfg:       cfg,
+		partials:  map[msgKey]*partial{},
+		cts:       map[uint64]bool{},
+		unacked:   map[uint64]*outMsg{},
+		completed: map[msgKey]bool{},
+		txSeq:     map[int]uint32{},
+		rxNext:    map[int]uint32{},
+		rxHold:    map[int]map[uint32]*Message{},
+	}
+}
+
+// Proc returns the underlying guest process handle.
+func (e *Endpoint) Proc() *guest.Proc { return e.p }
+
+// MTU returns the endpoint's frame payload capacity.
+func (e *Endpoint) MTU() int { return e.cfg.MTU }
+
+// Send transmits a size-only message (no payload bytes) to (dst, tag).
+func (e *Endpoint) Send(dst, tag, size int) {
+	e.send(dst, tag, size, nil)
+}
+
+// SendPayload transmits a message carrying actual bytes.
+func (e *Endpoint) SendPayload(dst, tag int, payload []byte) {
+	e.send(dst, tag, len(payload), payload)
+}
+
+func header(kind byte, id uint64, tag, size, off, frag int, seq uint32) []byte {
+	hdr := make([]byte, headerBytes, headerBytes+frag)
+	hdr[0] = kind
+	binary.LittleEndian.PutUint64(hdr[1:], id)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(tag))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(size))
+	binary.LittleEndian.PutUint64(hdr[21:], uint64(off))
+	binary.LittleEndian.PutUint32(hdr[29:], uint32(frag))
+	binary.LittleEndian.PutUint32(hdr[33:], seq)
+	return hdr
+}
+
+func (e *Endpoint) send(dst, tag, size int, payload []byte) {
+	if size < 0 {
+		panic(fmt.Sprintf("msg: negative message size %d", size))
+	}
+	if dst == e.p.Rank() {
+		// Loopback: deliver without touching the network, as a kernel
+		// would.
+		e.ready = append(e.ready, &Message{
+			Src: dst, Tag: tag, Size: size, Arrival: e.p.Now(), Payload: payload,
+		})
+		return
+	}
+	e.nextMsgID++
+	id := e.nextMsgID
+	seq := e.txSeq[dst]
+	e.txSeq[dst] = seq + 1
+
+	rendezvous := e.cfg.EagerMax >= 0 && size > e.cfg.EagerMax
+	if rendezvous {
+		e.sendRTS(dst, id, tag, size)
+		if e.cfg.Reliable {
+			om := &outMsg{id: id, dst: dst, tag: tag, size: size, payload: payload, seq: seq,
+				needCTS: true, deadline: e.p.Now().Add(e.cfg.RetransmitTimeout)}
+			e.track(om)
+			// Block until the destination grants CTS, retransmitting the
+			// RTS as needed.
+			for !e.cts[id] {
+				e.pump(simtime.GuestInfinity)
+			}
+			om.needCTS = false
+			om.deadline = e.p.Now().Add(e.cfg.RetransmitTimeout)
+		} else {
+			for !e.cts[id] {
+				e.handleFrame(e.p.Recv())
+			}
+		}
+		delete(e.cts, id)
+	}
+
+	e.sendData(dst, id, tag, size, payload, seq)
+	if e.cfg.Reliable && !rendezvous {
+		e.track(&outMsg{id: id, dst: dst, tag: tag, size: size, payload: payload, seq: seq,
+			deadline: e.p.Now().Add(e.cfg.RetransmitTimeout)})
+	}
+}
+
+func (e *Endpoint) sendRTS(dst int, id uint64, tag, size int) {
+	e.p.Send(dst, pkt.ProtoCtrl, headerBytes, header(kindRTS, id, tag, size, 0, 0, 0))
+	e.rtsSent++
+	e.framesSent++
+}
+
+// sendData pushes all data fragments of a message.
+func (e *Endpoint) sendData(dst int, id uint64, tag, size int, payload []byte, seq uint32) {
+	chunk := e.cfg.MTU - headerBytes
+	off := 0
+	for {
+		frag := size - off
+		if frag > chunk {
+			frag = chunk
+		}
+		data := header(kindData, id, tag, size, off, frag, seq)
+		if payload != nil {
+			data = append(data, payload[off:off+frag]...)
+		}
+		e.p.Send(dst, pkt.ProtoMsg, headerBytes+frag, data)
+		e.framesSent++
+		off += frag
+		if off >= size {
+			break
+		}
+	}
+}
+
+func (e *Endpoint) track(om *outMsg) {
+	e.unacked[om.id] = om
+	e.unackedID = append(e.unackedID, om.id)
+}
+
+// nextDeadline returns the earliest retransmission deadline among in-flight
+// messages, or GuestInfinity.
+func (e *Endpoint) nextDeadline() simtime.Guest {
+	d := simtime.GuestInfinity
+	for _, id := range e.unackedID {
+		om := e.unacked[id]
+		if om != nil && om.deadline < d {
+			d = om.deadline
+		}
+	}
+	return d
+}
+
+// retransmitDue resends everything whose timer expired.
+func (e *Endpoint) retransmitDue() {
+	now := e.p.Now()
+	live := e.unackedID[:0]
+	for _, id := range e.unackedID {
+		om := e.unacked[id]
+		if om == nil {
+			continue // acked
+		}
+		live = append(live, id)
+		if om.deadline > now {
+			continue
+		}
+		om.retries++
+		e.retransmits++
+		// The backoff cap is deliberately low (8x): a retransmitting sender
+		// must keep poking its peer's Drain window often enough that the
+		// peer cannot plausibly see a full quiet period while traffic is
+		// still owed (see Drain).
+		backoff := om.retries
+		if backoff > 3 {
+			backoff = 3
+		}
+		om.deadline = now.Add(e.cfg.RetransmitTimeout << uint(backoff))
+		if om.needCTS {
+			e.sendRTS(om.dst, om.id, om.tag, om.size)
+		} else {
+			e.sendData(om.dst, om.id, om.tag, om.size, om.payload, om.seq)
+		}
+	}
+	e.unackedID = live
+}
+
+// pump makes protocol progress until a frame has been handled or the guest
+// clock reaches deadline; reliable-mode retransmission timers fire inside.
+// It reports whether a frame was handled.
+func (e *Endpoint) pump(deadline simtime.Guest) bool {
+	for {
+		e.retransmitDue()
+		wait := deadline
+		if e.cfg.Reliable {
+			if d := e.nextDeadline(); d < wait {
+				wait = d
+			}
+		}
+		a, ok := e.p.RecvDeadline(wait)
+		if ok {
+			e.handleFrame(a)
+			return true
+		}
+		if e.p.Now() >= deadline {
+			return false
+		}
+		// A retransmission timer fired before the caller's deadline; loop.
+	}
+}
+
+// handleFrame folds one received frame into protocol state, moving any
+// completed message to the ready list and answering control traffic.
+func (e *Endpoint) handleFrame(a guest.Arrival) {
+	f := a.Frame
+	if (f.Proto != pkt.ProtoMsg && f.Proto != pkt.ProtoCtrl) || len(f.Data) < headerBytes {
+		// Foreign traffic (raw frames from synthetic workloads sharing the
+		// node); drop it — the endpoint owns the NIC on msg-based nodes.
+		return
+	}
+	e.framesRecv++
+	src := f.Src.Node()
+	kind := f.Data[0]
+	id := binary.LittleEndian.Uint64(f.Data[1:])
+	tag := int(int32(binary.LittleEndian.Uint32(f.Data[9:])))
+	size := int(binary.LittleEndian.Uint64(f.Data[13:]))
+	off := int(binary.LittleEndian.Uint64(f.Data[21:]))
+	frag := int(binary.LittleEndian.Uint32(f.Data[29:]))
+	seq := binary.LittleEndian.Uint32(f.Data[33:])
+
+	switch kind {
+	case kindRTS:
+		// Grant immediately: the protocol engine (in a real stack, the
+		// progress thread / TCP window) opens the transfer as soon as the
+		// RTS is seen. Duplicate RTS (lost CTS) is granted again.
+		e.p.Send(src, pkt.ProtoCtrl, headerBytes, header(kindCTS, id, tag, size, 0, 0, 0))
+		e.ctsSent++
+		e.framesSent++
+		return
+	case kindCTS:
+		e.cts[id] = true
+		return
+	case kindAck:
+		delete(e.unacked, id)
+		return
+	}
+
+	key := msgKey{src: src, msgID: id}
+	if e.completed[key] {
+		// A duplicate of a message we already delivered: its ack was lost.
+		e.duplicates++
+		e.ack(src, id, tag, size)
+		return
+	}
+	pa := e.partials[key]
+	if pa == nil {
+		pa = &partial{src: src, tag: tag, size: size, seq: seq}
+		if e.cfg.Reliable {
+			pa.gotOff = map[int]bool{}
+		}
+		e.partials[key] = pa
+	}
+	if pa.gotOff != nil {
+		if pa.gotOff[off] {
+			e.duplicates++
+			return
+		}
+		pa.gotOff[off] = true
+	}
+	if len(f.Data) >= headerBytes+frag && frag > 0 && len(f.Data) > headerBytes {
+		if pa.payload == nil {
+			pa.payload = make([]byte, size)
+		}
+		copy(pa.payload[off:off+frag], f.Data[headerBytes:headerBytes+frag])
+		pa.gotData = true
+	}
+	pa.received += frag
+	if pa.received >= pa.size {
+		m := &Message{Src: pa.src, Tag: pa.tag, Size: pa.size, Arrival: a.Time}
+		if pa.gotData {
+			m.Payload = pa.payload
+		}
+		delete(e.partials, key)
+		e.deliverInOrder(src, pa.seq, m)
+		if e.cfg.Reliable {
+			e.completed[key] = true
+			e.ack(src, id, pa.tag, pa.size)
+		}
+	}
+}
+
+// deliverInOrder releases completed messages to the ready list strictly in
+// per-source send order (MPI non-overtaking), holding any message whose
+// predecessors are still in flight.
+func (e *Endpoint) deliverInOrder(src int, seq uint32, m *Message) {
+	hold := e.rxHold[src]
+	if hold == nil {
+		hold = map[uint32]*Message{}
+		e.rxHold[src] = hold
+	}
+	hold[seq] = m
+	for {
+		next, ok := hold[e.rxNext[src]]
+		if !ok {
+			return
+		}
+		delete(hold, e.rxNext[src])
+		e.rxNext[src]++
+		e.ready = append(e.ready, next)
+	}
+}
+
+func (e *Endpoint) ack(dst int, id uint64, tag, size int) {
+	if !e.cfg.Reliable {
+		return
+	}
+	e.p.Send(dst, pkt.ProtoCtrl, headerBytes, header(kindAck, id, tag, size, 0, 0, 0))
+	e.acksSent++
+	e.framesSent++
+}
+
+func match(m *Message, src, tag int) bool {
+	return (src == Any || m.Src == src) && (tag == Any || m.Tag == tag)
+}
+
+// take removes and returns the first ready message matching (src, tag).
+func (e *Endpoint) take(src, tag int) *Message {
+	for i, m := range e.ready {
+		if match(m, src, tag) {
+			e.ready = append(e.ready[:i], e.ready[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) — either may be Any — has
+// fully arrived, and returns it. Messages from the same source and tag are
+// returned in sending order.
+func (e *Endpoint) Recv(src, tag int) *Message {
+	for {
+		if m := e.take(src, tag); m != nil {
+			return m
+		}
+		e.pump(simtime.GuestInfinity)
+	}
+}
+
+// RecvDeadline is Recv with an absolute guest-time deadline; ok reports
+// whether a message was returned before the deadline.
+func (e *Endpoint) RecvDeadline(src, tag int, deadline simtime.Guest) (m *Message, ok bool) {
+	for {
+		if m := e.take(src, tag); m != nil {
+			return m, true
+		}
+		if !e.pump(deadline) {
+			return nil, false
+		}
+	}
+}
+
+// TryRecv returns a matching message if one has already fully arrived,
+// consuming any frames already visible to the guest.
+func (e *Endpoint) TryRecv(src, tag int) (m *Message, ok bool) {
+	return e.RecvDeadline(src, tag, e.p.Now())
+}
+
+// Flush blocks until every reliable-mode message has been acknowledged,
+// driving retransmissions as needed. It is a no-op on unreliable endpoints.
+func (e *Endpoint) Flush() {
+	if !e.cfg.Reliable {
+		return
+	}
+	for e.Outstanding() > 0 {
+		e.pump(simtime.GuestInfinity)
+	}
+}
+
+// Drain keeps the protocol engine responsive (re-acknowledging duplicates,
+// retransmitting) until the network has been quiet for the given guest
+// duration — the TIME_WAIT of this protocol. Reliable peers should Drain
+// before exiting so a sender whose acks were lost can still complete its
+// Flush.
+//
+// Like TCP's TIME_WAIT, this is probabilistic: a peer still owed traffic
+// retransmits at most every 8×RetransmitTimeout, so a quiet period of
+// K×8×RetransmitTimeout is abandoned prematurely only if K consecutive
+// retransmissions are all lost. Choose quiet ≥ ~20× RetransmitTimeout for
+// loss rates worth running (e.g. the default 200µs timer → 4ms+; tests use
+// tens of ms).
+func (e *Endpoint) Drain(quiet simtime.Duration) {
+	for e.pump(e.p.Now().Add(quiet)) {
+	}
+}
+
+// Outstanding reports how many reliable-mode messages still await
+// acknowledgement.
+func (e *Endpoint) Outstanding() int {
+	n := 0
+	for _, id := range e.unackedID {
+		if e.unacked[id] != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending reports how many fully arrived but unmatched messages the endpoint
+// holds (useful for drain assertions in tests).
+func (e *Endpoint) Pending() int { return len(e.ready) }
+
+// Incomplete reports how many messages are mid-reassembly.
+func (e *Endpoint) Incomplete() int { return len(e.partials) }
+
+// Stats returns frame-level protocol counters: data/control frames sent and
+// received, and RTS/CTS control frames sent.
+func (e *Endpoint) Stats() (framesSent, framesRecv, rtsSent, ctsSent int) {
+	return e.framesSent, e.framesRecv, e.rtsSent, e.ctsSent
+}
+
+// ReliabilityStats returns reliable-mode counters: acks sent, message
+// retransmissions performed, and duplicate fragments suppressed.
+func (e *Endpoint) ReliabilityStats() (acksSent, retransmits, duplicates int) {
+	return e.acksSent, e.retransmits, e.duplicates
+}

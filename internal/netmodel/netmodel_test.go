@@ -1,0 +1,128 @@
+package netmodel
+
+import (
+	"testing"
+
+	"clustersim/internal/pkt"
+	"clustersim/internal/simtime"
+)
+
+func TestPaperModelLatency(t *testing.T) {
+	m := Paper()
+	// A jumbo frame at 10 GB/s: 9042 wire bytes ≈ 0.904µs serialization
+	// plus the 1µs base latency.
+	f := &pkt.Frame{Size: 9000}
+	lat := m.FrameLatency(f, 0, 1)
+	if lat < 1800*simtime.Nanosecond || lat > 2000*simtime.Nanosecond {
+		t.Errorf("jumbo frame latency %v outside [1.8µs, 2µs]", lat)
+	}
+	// A tiny frame is dominated by the base latency.
+	tiny := m.FrameLatency(&pkt.Frame{Size: 1}, 0, 1)
+	if tiny < 1000*simtime.Nanosecond || tiny > 1100*simtime.Nanosecond {
+		t.Errorf("tiny frame latency %v outside [1µs, 1.1µs]", tiny)
+	}
+}
+
+func TestMinLatencyIsSafetyBound(t *testing.T) {
+	m := Paper()
+	got := m.MinLatency(8)
+	if got < 1000*simtime.Nanosecond {
+		t.Errorf("minimum latency %v below the NIC base latency", got)
+	}
+	f := &pkt.Frame{Size: 1}
+	if lat := m.FrameLatency(f, 3, 5); lat < got {
+		t.Errorf("frame latency %v below MinLatency %v", lat, got)
+	}
+	if m.MinLatency(1) != 0 {
+		t.Error("single-node cluster should have zero MinLatency")
+	}
+}
+
+func TestStoreAndForwardSwitch(t *testing.T) {
+	m := &Model{
+		NIC:    &SimpleNIC{BaseLatency: simtime.Microsecond, BytesPerSecond: 10e9},
+		Switch: &StoreAndForwardSwitch{PortLatency: 2 * simtime.Microsecond, BytesPerSecond: 1e9},
+	}
+	f := &pkt.Frame{Size: 1000}
+	perfect := Paper().FrameLatency(f, 0, 1)
+	got := m.FrameLatency(f, 0, 1)
+	if got <= perfect {
+		t.Errorf("store-and-forward %v not above perfect switch %v", got, perfect)
+	}
+}
+
+func TestMatrixSwitch(t *testing.T) {
+	lat := [][]simtime.Duration{
+		{0, 5 * simtime.Microsecond},
+		{7 * simtime.Microsecond, 0},
+	}
+	m := &Model{NIC: &SimpleNIC{}, Switch: &MatrixSwitch{Lat: lat}}
+	f := &pkt.Frame{Size: 100}
+	if m.FrameLatency(f, 0, 1) != 5*simtime.Microsecond {
+		t.Error("matrix 0→1 latency wrong")
+	}
+	if m.FrameLatency(f, 1, 0) != 7*simtime.Microsecond {
+		t.Error("matrix 1→0 latency wrong")
+	}
+	if err := m.Validate(2); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	if err := m.Validate(3); err == nil {
+		t.Error("undersized matrix accepted")
+	}
+}
+
+func TestFatTreeSwitch(t *testing.T) {
+	m := &Model{NIC: &SimpleNIC{}, Switch: &FatTreeSwitch{
+		Radix:       4,
+		EdgeLatency: 1 * simtime.Microsecond,
+		CoreLatency: 3 * simtime.Microsecond,
+	}}
+	f := &pkt.Frame{Size: 100}
+	sameEdge := m.FrameLatency(f, 0, 3)
+	crossEdge := m.FrameLatency(f, 0, 4)
+	if sameEdge >= crossEdge {
+		t.Errorf("same-edge latency %v not below cross-edge %v", sameEdge, crossEdge)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Model{}).Validate(2); err == nil {
+		t.Error("nil NIC accepted")
+	}
+	if err := (&Model{NIC: &SimpleNIC{}}).Validate(2); err == nil {
+		t.Error("nil switch accepted")
+	}
+	if err := Paper().Validate(64); err != nil {
+		t.Errorf("paper model rejected: %v", err)
+	}
+}
+
+func TestInfiniteBandwidthSerialization(t *testing.T) {
+	n := &SimpleNIC{BaseLatency: simtime.Microsecond}
+	if n.Serialization(&pkt.Frame{Size: 1 << 20}) != 0 {
+		t.Error("zero-bandwidth NIC should serialize instantly")
+	}
+}
+
+func TestOutputQueueModel(t *testing.T) {
+	o := &OutputQueue{BytesPerSecond: 10e9, Latency: 100 * simtime.Nanosecond}
+	f := &pkt.Frame{Size: 9000}
+	ser := o.Serialization(f)
+	if ser < 900*simtime.Nanosecond || ser > 910*simtime.Nanosecond {
+		t.Errorf("port serialization %v", ser)
+	}
+	if (&OutputQueue{}).Serialization(f) != 0 {
+		t.Error("infinite-bandwidth port should serialize instantly")
+	}
+	m := Paper()
+	base := m.PostTxLatency(f, 0, 1)
+	m.Output = o
+	withPort := m.PostTxLatency(f, 0, 1)
+	if withPort != base+ser+o.Latency {
+		t.Errorf("uncontended port latency %v, want %v", withPort, base+ser+o.Latency)
+	}
+	if m.PreQueueLatency(f, 0, 1)+o.Serialization(f)+m.PostQueueLatency(f) != withPort {
+		t.Error("pre/post queue decomposition inconsistent with PostTxLatency")
+	}
+}

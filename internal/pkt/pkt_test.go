@@ -1,0 +1,58 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeMACRoundTrip(t *testing.T) {
+	f := func(id uint32) bool {
+		m := NodeMAC(int(id))
+		return m.Node() == int(id) && !m.IsBroadcast()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if Broadcast.Node() != -1 {
+		t.Error("Broadcast.Node() should be -1")
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Error("Broadcast not recognized")
+	}
+	if NodeMAC(5).IsBroadcast() {
+		t.Error("node MAC misdetected as broadcast")
+	}
+}
+
+func TestForeignMAC(t *testing.T) {
+	if MAC(0xdeadbeef0000).Node() != -1 {
+		t.Error("foreign MAC should map to node -1")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if got := NodeMAC(1).String(); got != "02:00:00:00:00:01" {
+		t.Errorf("NodeMAC(1) = %q", got)
+	}
+	if got := Broadcast.String(); got != "ff:ff:ff:ff:ff:ff" {
+		t.Errorf("Broadcast = %q", got)
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	f := Frame{Src: NodeMAC(0), Dst: NodeMAC(1), Size: 1000}
+	if f.WireBytes() != 1000+HeaderBytes {
+		t.Errorf("WireBytes = %d", f.WireBytes())
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{ID: 7, Src: NodeMAC(0), Dst: NodeMAC(1), Proto: ProtoMsg, Size: 9000}
+	s := f.String()
+	if s == "" {
+		t.Error("empty frame description")
+	}
+}

@@ -1,0 +1,78 @@
+package quantum
+
+import (
+	"fmt"
+	"sort"
+
+	"clustersim/internal/simtime"
+)
+
+// Oracle is a perfect-lookahead policy: it knows every future packet send
+// time in advance and stretches each quantum to end exactly at the next one
+// (clamped to [Min, Max]), running at Min inside communication bursts.
+//
+// The paper explains why real systems cannot have this ("in full-system
+// simulation there is no perfect way of correctly determining if there is
+// not going to be another packet"): lookahead estimation needs well-defined
+// topologies, which a star-topology cluster with broadcasts does not offer.
+// The Oracle is therefore not a usable synchronization scheme but an upper
+// bound — the ablation experiments compare Algorithm 1 against it to show
+// how much of the theoretically available speedup the blind adaptive scheme
+// captures.
+//
+// Send times are taken from a traced ground-truth run of the same seed;
+// because the ground truth is deterministic and exact (Q <= T), those times
+// are the true ones.
+type Oracle struct {
+	Min, Max simtime.Duration
+
+	sends []simtime.Guest
+	// next indexes the first send time not yet passed.
+	next int
+}
+
+// NewOracle builds the policy from the guest-time send instants of a traced
+// baseline run. It panics on non-positive bounds: configuration bug.
+func NewOracle(min, max simtime.Duration, sendTimes []simtime.Guest) *Oracle {
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("quantum: oracle bounds [%v, %v] invalid", min, max))
+	}
+	sends := append([]simtime.Guest(nil), sendTimes...)
+	sort.Slice(sends, func(i, j int) bool { return sends[i] < sends[j] })
+	return &Oracle{Min: min, Max: max, sends: sends}
+}
+
+// First implements Policy.
+func (o *Oracle) First() simtime.Duration {
+	o.next = 0
+	return o.decide(0)
+}
+
+// Next implements Policy.
+func (o *Oracle) Next(fb Feedback) simtime.Duration {
+	return o.decide(fb.Now)
+}
+
+// decide picks the quantum starting at guest time now: up to the next known
+// send, or Min when a send is imminent (the burst regime).
+func (o *Oracle) decide(now simtime.Guest) simtime.Duration {
+	for o.next < len(o.sends) && o.sends[o.next] <= now {
+		o.next++
+	}
+	if o.next >= len(o.sends) {
+		return o.Max // silence to the end of the run
+	}
+	gap := o.sends[o.next].Sub(now)
+	if gap < o.Min {
+		return o.Min
+	}
+	if gap > o.Max {
+		return o.Max
+	}
+	return gap
+}
+
+// Name implements Policy.
+func (o *Oracle) Name() string {
+	return fmt.Sprintf("oracle %s:%s", o.Min, o.Max)
+}

@@ -1,0 +1,66 @@
+package quantum
+
+import (
+	"testing"
+
+	"clustersim/internal/simtime"
+)
+
+func TestOracleStretchesToNextSend(t *testing.T) {
+	sends := []simtime.Guest{
+		simtime.Guest(500 * simtime.Microsecond),
+		simtime.Guest(502 * simtime.Microsecond),
+		simtime.Guest(5 * simtime.Millisecond),
+	}
+	o := NewOracle(simtime.Microsecond, simtime.Millisecond, sends)
+	if q := o.First(); q != 500*simtime.Microsecond {
+		t.Errorf("first quantum %v, want exactly the gap to the first send", q)
+	}
+	// At the first send, the next send is 2µs away: burst regime.
+	if q := o.Next(Feedback{Now: sends[0]}); q != 2*simtime.Microsecond {
+		t.Errorf("burst quantum %v, want 2µs", q)
+	}
+	// Imminent send within Min clamps to Min.
+	if q := o.Next(Feedback{Now: sends[1] - 1}); q < simtime.Microsecond {
+		t.Errorf("quantum %v below Min", q)
+	}
+	// Long silence clamps to Max.
+	if q := o.Next(Feedback{Now: sends[1]}); q != simtime.Millisecond {
+		t.Errorf("silence quantum %v, want Max", q)
+	}
+	// Past the last send: free running at Max.
+	if q := o.Next(Feedback{Now: simtime.Guest(10 * simtime.Millisecond)}); q != simtime.Millisecond {
+		t.Errorf("post-traffic quantum %v, want Max", q)
+	}
+}
+
+func TestOracleUnsortedInput(t *testing.T) {
+	sends := []simtime.Guest{300, 100, 200}
+	o := NewOracle(1, 1000, sends)
+	if q := o.First(); q != 100 {
+		t.Errorf("oracle did not sort its input: first quantum %v", q)
+	}
+}
+
+func TestOracleEmptyTrace(t *testing.T) {
+	o := NewOracle(simtime.Microsecond, simtime.Millisecond, nil)
+	if o.First() != simtime.Millisecond {
+		t.Error("silent oracle should free-run at Max")
+	}
+}
+
+func TestOracleInvalidBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid oracle bounds did not panic")
+		}
+	}()
+	NewOracle(0, simtime.Millisecond, nil)
+}
+
+func TestOracleName(t *testing.T) {
+	o := NewOracle(simtime.Microsecond, simtime.Millisecond, nil)
+	if o.Name() == "" {
+		t.Error("empty name")
+	}
+}

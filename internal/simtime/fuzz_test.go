@@ -1,0 +1,36 @@
+package simtime
+
+import "testing"
+
+// FuzzParseDuration: the parser must never panic, and everything it accepts
+// must re-parse from its own String rendering to a nearby value.
+func FuzzParseDuration(f *testing.F) {
+	for _, seed := range []string{"1us", "1.5ms", "2s", "500ns", "-3µs", "", "xx", "1e300s", "NaNms"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDuration(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseDuration(d.String())
+		if err != nil {
+			t.Fatalf("String rendering %q of parsed %q does not re-parse: %v", d.String(), s, err)
+		}
+		diff := int64(back - d)
+		if diff < 0 {
+			diff = -diff
+		}
+		// String rounds to three decimals of the displayed unit; allow that.
+		if d != 0 && float64(diff) > 0.001*absF(float64(d))+1 {
+			t.Fatalf("round trip of %q drifted: %v -> %v", s, d, back)
+		}
+	})
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clustersim/internal/metrics"
+)
+
+// ParetoChart renders the paper's Figure 8 as an ASCII scatter plot:
+// accuracy error on the x axis, simulation speedup on a logarithmic y axis,
+// points labelled by a letter with a legend, and Pareto-front members
+// marked.
+func ParetoChart(points []metrics.Point, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(points) == 0 {
+		return "(no points)\n"
+	}
+
+	maxErr := 0.0
+	minSp, maxSp := math.Inf(1), 0.0
+	for _, p := range points {
+		if p.Err > maxErr {
+			maxErr = p.Err
+		}
+		if p.Speedup > maxSp {
+			maxSp = p.Speedup
+		}
+		if p.Speedup < minSp {
+			minSp = p.Speedup
+		}
+	}
+	if maxErr == 0 {
+		maxErr = 0.01
+	}
+	if minSp <= 0 {
+		minSp = 1
+	}
+	loLog := math.Log10(minSp) - 0.05
+	hiLog := math.Log10(maxSp) + 0.05
+
+	front := map[string]bool{}
+	for _, p := range metrics.ParetoFront(points) {
+		front[p.Name] = true
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	legend := &strings.Builder{}
+	for i, p := range points {
+		x := int(p.Err / maxErr * float64(width-1))
+		y := height - 1 - int((math.Log10(p.Speedup)-loLog)/(hiLog-loLog)*float64(height-1))
+		if y < 0 {
+			y = 0
+		}
+		if y >= height {
+			y = height - 1
+		}
+		label := byte('a' + i%26)
+		grid[y][x] = label
+		mark := ""
+		if front[p.Name] {
+			mark = "  ◆ pareto"
+		}
+		fmt.Fprintf(legend, "  %c = %-28s err %6.2f%%  speedup %6.1fx%s\n",
+			label, p.Name, p.Err*100, p.Speedup, mark)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup (log %.3g..%.3g)\n", minSp, maxSp)
+	for i, row := range grid {
+		edge := "|"
+		if i == 0 {
+			edge = "^"
+		}
+		fmt.Fprintf(&b, "  %s%s\n", edge, string(row))
+	}
+	fmt.Fprintf(&b, "  +%s> accuracy error (0..%.1f%%)\n", strings.Repeat("-", width), maxErr*100)
+	b.WriteString(legend.String())
+	return b.String()
+}

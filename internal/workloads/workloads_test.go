@@ -1,0 +1,206 @@
+package workloads_test
+
+import (
+	"fmt"
+	"testing"
+
+	"clustersim/internal/cluster"
+	"clustersim/internal/guest"
+	"clustersim/internal/host"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+func run(t *testing.T, w workloads.Workload, nodes int, q simtime.Duration) *cluster.Result {
+	t.Helper()
+	res, err := cluster.Run(cluster.Config{
+		Nodes:    nodes,
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Host:     host.DefaultParams(),
+		Policy:   func() quantum.Policy { return quantum.Fixed{Q: q} },
+		Program:  w.New,
+		MaxGuest: simtime.Guest(120 * simtime.Second),
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res
+}
+
+// small returns the NAS suite at 5% scale plus a small NAMD, fast enough
+// for unit testing.
+func small() []workloads.Workload {
+	ep := workloads.DefaultEP()
+	ep.SerialCompute = ep.SerialCompute.Scale(0.05)
+	is := workloads.DefaultIS()
+	is.SerialComputePerIter = is.SerialComputePerIter.Scale(0.05)
+	is.Iterations = 3
+	cg := workloads.DefaultCG()
+	cg.SerialComputePerInner = cg.SerialComputePerInner.Scale(0.05)
+	cg.OuterIters = 2
+	mg := workloads.DefaultMG()
+	mg.SerialComputeFinest = mg.SerialComputeFinest.Scale(0.05)
+	mg.Iterations = 1
+	lu := workloads.DefaultLU()
+	lu.SerialComputePerStep = lu.SerialComputePerStep.Scale(0.05)
+	lu.Steps = 5
+	md := workloads.DefaultNAMD()
+	md.SerialComputePerStep = md.SerialComputePerStep.Scale(0.05)
+	md.Steps = 10
+	ft := workloads.DefaultFT()
+	ft.SerialComputePerIter = ft.SerialComputePerIter.Scale(0.05)
+	ft.Iterations = 2
+	return []workloads.Workload{
+		workloads.EP(ep), workloads.IS(is), workloads.CG(cg),
+		workloads.MG(mg), workloads.LU(lu), workloads.NAMD(md),
+		workloads.FT(ft),
+	}
+}
+
+func TestAllWorkloadsCompleteAndReport(t *testing.T) {
+	for _, w := range small() {
+		for _, nodes := range []int{2, 4} {
+			w, nodes := w, nodes
+			t.Run(fmt.Sprintf("%s_%d", w.Name, nodes), func(t *testing.T) {
+				t.Parallel()
+				res := run(t, w, nodes, 20*simtime.Microsecond)
+				v, ok := res.Metric(w.Metric)
+				if !ok {
+					t.Fatalf("rank 0 did not report %q", w.Metric)
+				}
+				if v <= 0 {
+					t.Errorf("metric %q = %v, want positive", w.Metric, v)
+				}
+				if res.GuestTime <= 0 {
+					t.Error("zero guest time")
+				}
+			})
+		}
+	}
+}
+
+func TestCommunicationPatternsDiffer(t *testing.T) {
+	// EP must be by far the least communication-intensive of the suite
+	// (packets per guest second), and NAMD/IS among the densest — the
+	// property the whole paper turns on.
+	density := map[string]float64{}
+	for _, w := range small() {
+		res := run(t, w, 4, 20*simtime.Microsecond)
+		density[w.Name] = float64(res.Stats.Packets) / simtime.Duration(res.GuestTime).Seconds()
+	}
+	t.Logf("packet density per guest second: %v", density)
+	for name, d := range density {
+		if name == "nas.ep" {
+			continue
+		}
+		if density["nas.ep"] >= d {
+			t.Errorf("EP density %.0f not below %s density %.0f", density["nas.ep"], name, d)
+		}
+	}
+}
+
+func TestComputeScalesWithNodes(t *testing.T) {
+	// EP at 4 nodes must finish in roughly half the guest time of 2 nodes.
+	w := small()[0]
+	t2 := run(t, w, 2, simtime.Microsecond).GuestTime
+	t4 := run(t, w, 4, simtime.Microsecond).GuestTime
+	ratio := float64(t2) / float64(t4)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("EP 2→4 node guest-time ratio %.2f, want ≈2", ratio)
+	}
+}
+
+func TestPingPongRTT(t *testing.T) {
+	res := run(t, workloads.PingPong(10, 100), 2, simtime.Microsecond)
+	rtt, ok := res.Metric("rtt_us")
+	if !ok || rtt <= 0 {
+		t.Fatalf("bad rtt %v ok=%v", rtt, ok)
+	}
+}
+
+func TestPingPongNeedsTwoNodes(t *testing.T) {
+	w := workloads.PingPong(1, 100)
+	_, err := cluster.Run(cluster.Config{
+		Nodes:    1,
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Host:     host.DefaultParams(),
+		Policy:   func() quantum.Policy { return quantum.Fixed{Q: simtime.Microsecond} },
+		Program:  w.New,
+		MaxGuest: simtime.Guest(simtime.Second),
+	})
+	if err == nil {
+		t.Error("single-node ping-pong should fail")
+	}
+}
+
+func TestUniformTrafficDrains(t *testing.T) {
+	res := run(t, workloads.Uniform(20, 2000, 50*simtime.Microsecond, 3), 4, 10*simtime.Microsecond)
+	if res.Stats.Packets < 4*20 {
+		t.Errorf("expected at least 80 frames, got %d", res.Stats.Packets)
+	}
+}
+
+func TestSilentSendsNothing(t *testing.T) {
+	res := run(t, workloads.Silent(200*simtime.Microsecond), 4, 10*simtime.Microsecond)
+	if res.Stats.Packets != 0 {
+		t.Errorf("silent workload sent %d packets", res.Stats.Packets)
+	}
+}
+
+func TestPhasesAlternates(t *testing.T) {
+	res := run(t, workloads.Phases(3, 100*simtime.Microsecond, 8<<10), 4, 10*simtime.Microsecond)
+	if res.Stats.Packets == 0 {
+		t.Error("phases workload sent nothing")
+	}
+	if res.GuestTime < simtime.Guest(300*simtime.Microsecond) {
+		t.Errorf("guest time %v shorter than the compute phases alone", res.GuestTime)
+	}
+}
+
+func TestBTRunsOnSquareGrids(t *testing.T) {
+	p := workloads.DefaultBT()
+	p.SerialComputePerStep = p.SerialComputePerStep.Scale(0.05)
+	p.Steps = 3
+	w := workloads.BT(p)
+	for _, nodes := range []int{1, 4, 9} {
+		res := run(t, w, nodes, 20*simtime.Microsecond)
+		if v, ok := res.Metric("mops"); !ok || v <= 0 {
+			t.Errorf("bt at %d nodes: mops=%v ok=%v", nodes, v, ok)
+		}
+	}
+}
+
+func TestBTRejectsNonSquareGrids(t *testing.T) {
+	p := workloads.DefaultBT()
+	p.Steps = 1
+	w := workloads.BT(p)
+	_, err := cluster.Run(cluster.Config{
+		Nodes:    6,
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Host:     host.DefaultParams(),
+		Policy:   func() quantum.Policy { return quantum.Fixed{Q: simtime.Microsecond} },
+		Program:  w.New,
+		MaxGuest: simtime.Guest(simtime.Second),
+	})
+	if err == nil {
+		t.Error("bt accepted a non-square grid")
+	}
+}
+
+// runErr is run without the test fatal, for expected-failure cases.
+func runErr(w workloads.Workload, nodes int) (*cluster.Result, error) {
+	return cluster.Run(cluster.Config{
+		Nodes:    nodes,
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Host:     host.DefaultParams(),
+		Policy:   func() quantum.Policy { return quantum.Fixed{Q: simtime.Microsecond} },
+		Program:  w.New,
+		MaxGuest: simtime.Guest(simtime.Second),
+	})
+}
