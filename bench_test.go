@@ -209,6 +209,45 @@ func BenchmarkEngineWithTraffic(b *testing.B) {
 	b.ReportMetric(float64(totalPackets)/b.Elapsed().Seconds(), "packets/s")
 }
 
+// BenchmarkObserverOverhead guards the cost of the observability hooks on
+// the engine's hot path (routeFrame/stepNode, exercised by a packet-heavy
+// phase workload):
+//
+//   - "nil" runs with no Observer — the default, and the configuration whose
+//     throughput must stay within noise of the pre-instrumentation seed
+//     (compare against BenchmarkEngineWithTraffic history): every hook site
+//     is a single nil check and builds no records.
+//   - "noop" attaches a do-nothing Observer, measuring the fixed price of
+//     record construction and dynamic dispatch when hooks are enabled.
+func BenchmarkObserverOverhead(b *testing.B) {
+	mkCfg := func() clustersim.Config {
+		w := workloads.Phases(3, 100*clustersim.Microsecond, 64<<10)
+		cfg := clustersim.NewConfig(8, w.New)
+		cfg.Policy = clustersim.AdaptiveQuantum(1*clustersim.Microsecond, 1000*clustersim.Microsecond, 1.03, 0.02)
+		return cfg
+	}
+	run := func(b *testing.B, cfg clustersim.Config) {
+		b.ResetTimer()
+		totalPackets := 0
+		for i := 0; i < b.N; i++ {
+			res, err := clustersim.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalPackets += res.Stats.Packets
+		}
+		b.ReportMetric(float64(totalPackets)/b.Elapsed().Seconds(), "packets/s")
+	}
+	b.Run("nil", func(b *testing.B) {
+		run(b, mkCfg())
+	})
+	b.Run("noop", func(b *testing.B) {
+		cfg := mkCfg()
+		cfg.Observer = clustersim.ObserverBase{}
+		run(b, cfg)
+	})
+}
+
 // BenchmarkParallelRunner measures the real-goroutine runner: wall time to
 // co-simulate an 8-node phase workload with true parallelism.
 func BenchmarkParallelRunner(b *testing.B) {

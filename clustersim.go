@@ -30,10 +30,14 @@
 package clustersim
 
 import (
+	"io"
+	"time"
+
 	"clustersim/internal/cluster"
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
 	"clustersim/internal/netmodel"
+	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 )
@@ -87,8 +91,70 @@ type (
 	PolicyFeedback = quantum.Feedback
 )
 
+// Observability: streaming hooks fired while a run executes (set
+// Config.Observer or ParallelConfig.Observer; nil = no hooks, zero cost).
+type (
+	// Observer receives lifecycle hooks from a running engine.
+	Observer = obs.Observer
+	// ObserverBase is a no-op Observer for embedding.
+	ObserverBase = obs.Base
+	// RunInfo and RunSummary describe a run to RunStart/RunEnd hooks.
+	RunInfo    = obs.RunInfo
+	RunSummary = obs.RunSummary
+	// NodePhase classifies a node segment (busy / idle / done).
+	NodePhase = obs.Phase
+	// ChromeTracer streams Chrome trace-event JSON (chrome://tracing,
+	// Perfetto).
+	ChromeTracer = obs.ChromeTracer
+	// MetricsRegistry accumulates live counters/gauges/histograms and
+	// serves them over HTTP.
+	MetricsRegistry = obs.Registry
+	// ProgressReporter prints periodic run progress.
+	ProgressReporter = obs.Progress
+)
+
+// Node phase values for NodePhase hooks.
+const (
+	PhaseBusy = obs.PhaseBusy
+	PhaseIdle = obs.PhaseIdle
+	PhaseDone = obs.PhaseDone
+)
+
+// MultiObserver combines observers into one; nil entries are dropped.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
+
+// NewChromeTracer returns an Observer streaming Chrome trace-event JSON to w.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return obs.NewChromeTracer(w) }
+
+// NewMetricsRegistry returns an empty live-metrics registry Observer.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewProgressReporter returns an Observer reporting progress to w at most
+// every interval (<=0 uses a 500ms default); target is the guest time
+// treated as 100% (0 if unknown).
+func NewProgressReporter(w io.Writer, target GuestTime, interval time.Duration) *ProgressReporter {
+	return obs.NewProgress(w, target, interval)
+}
+
+// ServeMetrics exposes a registry on an HTTP address (e.g. "localhost:6060"
+// or ":0") and returns the running server.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*obs.MetricsServer, error) {
+	return obs.Serve(addr, reg)
+}
+
+// ParallelConfig and ParallelResult configure the wall-clock goroutine
+// runner (see RunParallel).
+type (
+	ParallelConfig = cluster.ParallelConfig
+	ParallelResult = cluster.ParallelResult
+)
+
 // Run executes one cluster simulation.
 func Run(cfg Config) (*Result, error) { return cluster.Run(cfg) }
+
+// RunParallel executes a configuration with real goroutine parallelism and
+// wall-clock timing.
+func RunParallel(cfg ParallelConfig) (*ParallelResult, error) { return cluster.RunParallel(cfg) }
 
 // NewConfig returns a ready-to-run configuration for nodes ranks of
 // program, with the paper's evaluation defaults: 2.6 GHz guests, a 10 GB/s

@@ -19,6 +19,7 @@ import (
 
 	"clustersim/internal/cluster"
 	"clustersim/internal/experiments"
+	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 	"clustersim/internal/trace"
@@ -38,6 +39,10 @@ var (
 	parallelFlag = flag.Bool("parallel", false, "run with real goroutine parallelism and wall-clock timing")
 	spinFlag     = flag.Float64("spin", 0.02, "real ns of CPU burned per guest busy ns (parallel mode)")
 	traceFlag    = flag.String("tracefile", "", "run a JSON communication trace (workloads.TraceFile schema) instead of -workload; -nodes must match its rank count")
+
+	traceOutFlag    = flag.String("trace-out", "", "stream a Chrome trace-event JSON file here (open in chrome://tracing or ui.perfetto.dev)")
+	metricsAddrFlag = flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address (e.g. localhost:6060) and print a text snapshot at exit")
+	progressFlag    = flag.Bool("progress", false, "report live progress (guest %, quanta/s, current Q, straggler rate) on stderr")
 )
 
 func pickWorkload(name string, scale float64) (workloads.Workload, error) {
@@ -108,9 +113,59 @@ func main() {
 	}
 }
 
-func run() error {
+// observability assembles the observer stack requested by the -trace-out,
+// -metrics-addr and -progress flags. The returned cleanup finalizes the
+// trace file, prints the metrics snapshot, and stops the HTTP endpoint; it
+// runs even when the simulation fails so a partial trace stays loadable.
+func observability(target simtime.Guest) (obs.Observer, func() error, error) {
+	var observers []obs.Observer
+	var cleanups []func() error
+	cleanup := func() error {
+		var first error
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			if err := cleanups[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if *traceOutFlag != "" {
+		f, err := os.Create(*traceOutFlag)
+		if err != nil {
+			return nil, nil, err
+		}
+		t := obs.NewChromeTracer(f)
+		observers = append(observers, t)
+		cleanups = append(cleanups, func() error {
+			err := t.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		})
+	}
+	if *metricsAddrFlag != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddrFlag, reg)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "clustersim: metrics at http://%s/\n", srv.Addr())
+		observers = append(observers, reg)
+		cleanups = append(cleanups, func() error {
+			fmt.Fprint(os.Stderr, reg.Text())
+			return srv.Close()
+		})
+	}
+	if *progressFlag {
+		observers = append(observers, obs.NewProgress(os.Stderr, target, 0))
+	}
+	return obs.Multi(observers...), cleanup, nil
+}
+
+func run() (err error) {
 	var w workloads.Workload
-	var err error
 	if *traceFlag != "" {
 		f, ferr := os.Open(*traceFlag)
 		if ferr != nil {
@@ -135,8 +190,18 @@ func run() error {
 	env := experiments.DefaultEnv()
 	env.Host.Seed = *seedFlag
 
+	observer, obsCleanup, err := observability(env.MaxGuest)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsCleanup(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
 	if *parallelFlag {
-		return runParallel(w, policy, env)
+		return runParallel(w, policy, env, observer)
 	}
 
 	cfg := cluster.Config{
@@ -149,6 +214,7 @@ func run() error {
 		MaxGuest:     env.MaxGuest,
 		TraceQuanta:  *chartFlag,
 		TracePackets: *packetsFlag,
+		Observer:     observer,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {
@@ -167,7 +233,7 @@ func run() error {
 	return nil
 }
 
-func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env) error {
+func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer) error {
 	res, err := cluster.RunParallel(cluster.ParallelConfig{
 		Nodes:            *nodesFlag,
 		Guest:            env.Guest,
@@ -176,6 +242,7 @@ func runParallel(w workloads.Workload, policy func() quantum.Policy, env experim
 		Program:          w.New,
 		SpinPerGuestBusy: *spinFlag,
 		MaxGuest:         env.MaxGuest,
+		Observer:         observer,
 	})
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
 	"clustersim/internal/netmodel"
+	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	LossRate float64
 	// LossSeed seeds the loss draws.
 	LossSeed uint64
+	// Observer receives streaming lifecycle hooks (quantum boundaries,
+	// packet deliveries, node busy/idle segments) while the run executes.
+	// Nil disables all hooks at zero cost. See internal/obs.
+	Observer obs.Observer
 }
 
 // Validate reports configuration errors.
@@ -115,27 +120,41 @@ type Stats struct {
 	SilentQuanta int
 }
 
-// QuantumRecord traces one synchronization quantum.
-type QuantumRecord struct {
-	Index      int
-	Start      simtime.Guest    // guest time at quantum start
-	Q          simtime.Duration // quantum duration
-	Packets    int              // frames routed during the quantum
-	Stragglers int
-	HostStart  simtime.Host // barrier release that started the quantum
-	HostEnd    simtime.Host // barrier release that ended it
+// observeQuantum folds one quantum's duration and traffic into the
+// aggregate. Shared by the deterministic engine and the parallel runner so
+// the min/max/silent accounting cannot drift between them.
+func (s *Stats) observeQuantum(q simtime.Duration, packets int) {
+	s.Quanta++
+	if q < s.MinQ || s.Quanta == 1 {
+		s.MinQ = q
+	}
+	if q > s.MaxQ {
+		s.MaxQ = q
+	}
+	if packets == 0 {
+		s.SilentQuanta++
+	}
 }
 
-// PacketRecord traces one routed frame.
-type PacketRecord struct {
-	SendGuest simtime.Guest // guest time the source handed it to the NIC
-	Ideal     simtime.Guest // exact simulated arrival time
-	Arrival   simtime.Guest // guest time actually delivered
-	Src, Dst  int
-	Size      int
-	Straggler bool
-	Snapped   bool // queued to the next quantum boundary
+// finalize closes out the aggregate after the last quantum: MeanQ is derived
+// from the running sum, and a run with no quanta keeps MinQ at zero rather
+// than leaking a sentinel.
+func (s *Stats) finalize(sumQ float64) {
+	if s.Quanta == 0 {
+		s.MinQ = 0
+		return
+	}
+	s.MeanQ = simtime.Duration(sumQ / float64(s.Quanta))
 }
+
+// QuantumRecord traces one synchronization quantum. It is defined in
+// internal/obs (the streaming hooks deliver the same record) and aliased
+// here for the trace slices of Result.
+type QuantumRecord = obs.QuantumRecord
+
+// PacketRecord traces one routed frame; aliased from internal/obs like
+// QuantumRecord.
+type PacketRecord = obs.PacketRecord
 
 // Result is the outcome of a run.
 type Result struct {

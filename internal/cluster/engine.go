@@ -7,6 +7,7 @@ import (
 	"clustersim/internal/eventq"
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
+	"clustersim/internal/obs"
 	"clustersim/internal/pkt"
 	"clustersim/internal/quantum"
 	"clustersim/internal/rng"
@@ -88,6 +89,9 @@ type engine struct {
 	nodes  []*nodeState
 	q      eventq.Queue[event]
 	policy quantum.Policy
+	// obs mirrors cfg.Observer; every hook site is guarded by a nil check so
+	// an unobserved run builds no records and pays only the branch.
+	obs obs.Observer
 	// portFree tracks, per destination, when its switch output port frees
 	// up (guest time); used only when the net model has an OutputQueue.
 	portFree []simtime.Guest
@@ -113,6 +117,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg:    cfg,
 		hm:     host.NewModel(cfg.Host),
 		policy: cfg.Policy(),
+		obs:    cfg.Observer,
 	}
 	defer e.shutdown()
 	e.nodes = make([]*nodeState, cfg.Nodes)
@@ -125,7 +130,6 @@ func Run(cfg Config) (*Result, error) {
 		e.nodes[i] = &nodeState{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, prog)}
 	}
 	e.res.PolicyName = e.policy.Name()
-	e.res.Stats.MinQ = simtime.Duration(1<<62 - 1)
 	if err := e.run(); err != nil {
 		return nil, err
 	}
@@ -150,6 +154,13 @@ func (e *engine) run() error {
 	if Q <= 0 {
 		return fmt.Errorf("cluster: policy %q issued non-positive quantum %v", e.policy.Name(), Q)
 	}
+	if e.obs != nil {
+		e.obs.RunStart(obs.RunInfo{
+			Nodes:    e.cfg.Nodes,
+			Policy:   e.policy.Name(),
+			MaxGuest: e.cfg.MaxGuest,
+		})
+	}
 
 	for qi := 0; ; qi++ {
 		e.limit = start.Add(Q)
@@ -157,6 +168,9 @@ func (e *engine) run() error {
 		e.npQuantum = 0
 		e.strQuant = 0
 		e.lastEvtH = hostNow
+		if e.obs != nil {
+			e.obs.QuantumStart(qi, start, Q, hostNow)
+		}
 
 		for _, ns := range e.nodes {
 			ns.n.BeginQuantum(e.limit)
@@ -190,7 +204,7 @@ func (e *engine) run() error {
 			Add(simtime.Duration(e.npQuantum) * e.cfg.Host.PacketHostCost)
 		e.res.Stats.HostBarrier += barrierEnd.Sub(maxH)
 
-		e.recordQuantum(qi, start, Q, hostNow, barrierEnd)
+		e.recordQuantum(qi, start, Q, hostNow, maxH, barrierEnd)
 
 		hostNow = barrierEnd
 		start = e.limit
@@ -220,35 +234,33 @@ func (e *engine) run() error {
 			e.res.HostTime = simtime.Duration(d)
 		}
 	}
-	if e.res.Stats.Quanta > 0 {
-		e.res.Stats.MeanQ = simtime.Duration(e.sumQ / float64(e.res.Stats.Quanta))
+	e.res.Stats.finalize(e.sumQ)
+	if e.obs != nil {
+		e.obs.RunEnd(obs.RunSummary{GuestTime: e.res.GuestTime, HostEnd: hostNow})
 	}
 	return nil
 }
 
-func (e *engine) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, hStart, hEnd simtime.Host) {
-	st := &e.res.Stats
-	st.Quanta++
+func (e *engine) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, hStart, barrierStart, hEnd simtime.Host) {
+	e.res.Stats.observeQuantum(Q, e.npQuantum)
 	e.sumQ += float64(Q)
-	if Q < st.MinQ {
-		st.MinQ = Q
-	}
-	if Q > st.MaxQ {
-		st.MaxQ = Q
-	}
-	if e.npQuantum == 0 {
-		st.SilentQuanta++
-	}
-	if e.cfg.TraceQuanta {
-		e.res.Quanta = append(e.res.Quanta, QuantumRecord{
-			Index:      qi,
-			Start:      start,
-			Q:          Q,
-			Packets:    e.npQuantum,
-			Stragglers: e.strQuant,
-			HostStart:  hStart,
-			HostEnd:    hEnd,
-		})
+	if e.cfg.TraceQuanta || e.obs != nil {
+		rec := QuantumRecord{
+			Index:        qi,
+			Start:        start,
+			Q:            Q,
+			Packets:      e.npQuantum,
+			Stragglers:   e.strQuant,
+			HostStart:    hStart,
+			BarrierStart: barrierStart,
+			HostEnd:      hEnd,
+		}
+		if e.cfg.TraceQuanta {
+			e.res.Quanta = append(e.res.Quanta, rec)
+		}
+		if e.obs != nil {
+			e.obs.QuantumEnd(rec)
+		}
 	}
 }
 
@@ -258,6 +270,11 @@ func (e *engine) dispatch(h simtime.Host, ev event) {
 		e.stepNode(e.nodes[ev.node], h)
 	case evWake:
 		ns := e.nodes[ev.node]
+		if e.obs != nil {
+			// The idle segment's extent is only final here: deliveries may
+			// have re-aimed it since idleTo, so it is reported at its end.
+			e.obs.NodePhase(ev.node, obs.PhaseIdle, ns.segStartG, ev.gTarget, ns.segStartH, h)
+		}
 		ns.wakeEv = nil
 		ns.inSeg = false
 		ns.hostNow = h
@@ -291,6 +308,11 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 			ns.segEndG = st.To
 			ns.segEndH = h.Add(cost)
 			ns.hostNow = ns.segEndH
+			if e.obs != nil {
+				// Busy segments always run to completion, so the extent is
+				// final at creation.
+				e.obs.NodePhase(ns.n.ID(), obs.PhaseBusy, st.From, st.To, h, ns.segEndH)
+			}
 			e.q.PushPri(int64(ns.segEndH), priStep, event{kind: evStep, node: ns.n.ID()})
 			return
 
@@ -326,6 +348,10 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 			}
 			e.doneCount++
 			ns.doneHost = h
+			if e.obs != nil {
+				g := ns.n.Clock()
+				e.obs.NodePhase(ns.n.ID(), obs.PhaseDone, g, g, h, h)
+			}
 			// The simulator keeps idling to the barrier.
 			e.idleTo(ns, e.limit, h)
 			ns.doneIdling = true
@@ -471,12 +497,18 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 	} else {
 		st.Exact++
 	}
-	if e.cfg.TracePackets {
-		e.res.Packets = append(e.res.Packets, PacketRecord{
+	if e.cfg.TracePackets || e.obs != nil {
+		rec := PacketRecord{
 			SendGuest: ev.tSend, Ideal: ev.tD, Arrival: arr,
 			Src: ev.src, Dst: ev.dst, Size: ev.frame.Size,
 			Straggler: straggler, Snapped: snapped,
-		})
+		}
+		if e.cfg.TracePackets {
+			e.res.Packets = append(e.res.Packets, rec)
+		}
+		if e.obs != nil {
+			e.obs.Packet(rec)
+		}
 	}
 
 	ns.n.Deliver(ev.frame, arr)
@@ -493,6 +525,11 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 		}
 		// The cancelled tail of the idle segment is never simulated.
 		e.res.Stats.HostIdle -= ns.segEndH.Sub(simtime.MaxHost(h, ns.segStartH))
+		if e.obs != nil {
+			// Report the truncated idle segment: the straggler cut it short.
+			e.obs.NodePhase(ev.dst, obs.PhaseIdle, ns.segStartG, arr,
+				ns.segStartH, simtime.MaxHost(h, ns.segStartH))
+		}
 		ns.wakeEv = nil
 		ns.inSeg = false
 		ns.hostNow = h

@@ -8,6 +8,7 @@ import (
 
 	"clustersim/internal/guest"
 	"clustersim/internal/netmodel"
+	"clustersim/internal/obs"
 	"clustersim/internal/pkt"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
@@ -35,6 +36,12 @@ type ParallelConfig struct {
 	SpinPerGuestBusy float64
 	// MaxGuest aborts a deadlocked run.
 	MaxGuest simtime.Guest
+	// Observer receives streaming lifecycle hooks; host times in the hooks
+	// are real wall-clock nanoseconds since the run started. Node goroutines
+	// fire NodePhase concurrently, so the observer must be safe for
+	// concurrent use (all bundled obs implementations are). Nil disables
+	// all hooks at zero cost.
+	Observer obs.Observer
 }
 
 // ParallelResult is the outcome of a real-time parallel run.
@@ -78,6 +85,10 @@ type pnode struct {
 
 type prun struct {
 	cfg ParallelConfig
+	obs obs.Observer
+	// startWall is the epoch for hook host times; set before any goroutine
+	// can fire a hook.
+	startWall time.Time
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -105,14 +116,22 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if cfg.Net == nil || cfg.Policy == nil || cfg.Program == nil {
 		return nil, fmt.Errorf("cluster: parallel config missing net/policy/program")
 	}
-	r := &prun{cfg: cfg}
+	r := &prun{cfg: cfg, obs: cfg.Observer}
 	r.cond = sync.NewCond(&r.mu)
 	r.portFree = make([]simtime.Guest, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		r.nodes = append(r.nodes, &pnode{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes))})
 	}
 	policy := cfg.Policy()
-	r.stats.MinQ = simtime.Duration(1<<62 - 1)
+	r.startWall = time.Now()
+	if r.obs != nil {
+		r.obs.RunStart(obs.RunInfo{
+			Nodes:    cfg.Nodes,
+			Policy:   policy.Name(),
+			Parallel: true,
+			MaxGuest: cfg.MaxGuest,
+		})
+	}
 
 	var wg sync.WaitGroup
 	for _, pn := range r.nodes {
@@ -123,13 +142,13 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		}(pn)
 	}
 
-	start := time.Now()
+	start := r.startWall
 	var guestStart simtime.Guest
 	Q := policy.First()
 	err := func() error {
 		r.mu.Lock()
 		defer r.mu.Unlock()
-		for {
+		for qi := 0; ; qi++ {
 			if Q <= 0 {
 				return fmt.Errorf("cluster: policy %q issued non-positive quantum %v", policy.Name(), Q)
 			}
@@ -142,6 +161,10 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 					pn.state = pnRunning
 				}
 			}
+			qStartH := r.hostNow()
+			if r.obs != nil {
+				r.obs.QuantumStart(qi, guestStart, Q, qStartH)
+			}
 			r.gen++
 			r.cond.Broadcast()
 			for r.atLimit < len(r.nodes) && r.wErr == nil {
@@ -150,7 +173,7 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 			if r.wErr != nil {
 				return r.wErr
 			}
-			r.recordQuantum(Q)
+			r.recordQuantum(qi, guestStart, Q, qStartH)
 			guestStart = r.limit
 			if r.done == len(r.nodes) {
 				return nil
@@ -181,27 +204,40 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		Stats:      r.stats,
 		PolicyName: policy.Name(),
 	}
-	if r.stats.Quanta > 0 {
-		res.Stats.MeanQ = simtime.Duration(r.sumQ / float64(r.stats.Quanta))
-	}
+	res.Stats.finalize(r.sumQ)
 	for _, pn := range r.nodes {
 		res.Metrics = append(res.Metrics, pn.n.Metrics())
 		res.GuestTime = simtime.MaxGuest(res.GuestTime, pn.n.FinishedAt())
 	}
+	if r.obs != nil {
+		r.obs.RunEnd(obs.RunSummary{GuestTime: res.GuestTime, HostEnd: r.hostNow()})
+	}
 	return res, nil
 }
 
-func (r *prun) recordQuantum(Q simtime.Duration) {
-	r.stats.Quanta++
+// hostNow is the hook host clock: real nanoseconds since the run started.
+func (r *prun) hostNow() simtime.Host {
+	return simtime.Host(time.Since(r.startWall).Nanoseconds())
+}
+
+func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qStartH simtime.Host) {
+	r.stats.observeQuantum(Q, r.np)
 	r.sumQ += float64(Q)
-	if Q < r.stats.MinQ {
-		r.stats.MinQ = Q
-	}
-	if Q > r.stats.MaxQ {
-		r.stats.MaxQ = Q
-	}
-	if r.np == 0 {
-		r.stats.SilentQuanta++
+	if r.obs != nil {
+		// The closing barrier is the condition-variable wait that just
+		// completed; by the time it is observable all nodes have arrived, so
+		// the barrier span collapses to the quantum's end instant.
+		end := r.hostNow()
+		r.obs.QuantumEnd(obs.QuantumRecord{
+			Index:        qi,
+			Start:        start,
+			Q:            Q,
+			Packets:      r.np,
+			Stragglers:   r.str,
+			HostStart:    qStartH,
+			BarrierStart: end,
+			HostEnd:      end,
+		})
 	}
 }
 
@@ -235,7 +271,13 @@ func (r *prun) runQuantum(pn *pnode, gen int) {
 		st := pn.n.Step()
 		switch st.Kind {
 		case guest.StepBusy:
-			spin(time.Duration(float64(st.To.Sub(st.From)) * r.cfg.SpinPerGuestBusy))
+			if r.obs != nil {
+				h0 := r.hostNow()
+				spin(time.Duration(float64(st.To.Sub(st.From)) * r.cfg.SpinPerGuestBusy))
+				r.obs.NodePhase(pn.n.ID(), obs.PhaseBusy, st.From, st.To, h0, r.hostNow())
+			} else {
+				spin(time.Duration(float64(st.To.Sub(st.From)) * r.cfg.SpinPerGuestBusy))
+			}
 
 		case guest.StepSend:
 			r.route(pn, st.Frame, st.To)
@@ -264,6 +306,10 @@ func (r *prun) runQuantum(pn *pnode, gen int) {
 			return
 
 		case guest.StepDone:
+			if r.obs != nil {
+				h := r.hostNow()
+				r.obs.NodePhase(pn.n.ID(), obs.PhaseDone, st.To, st.To, h, h)
+			}
 			r.mu.Lock()
 			if st.Err != nil && r.wErr == nil {
 				r.wErr = fmt.Errorf("cluster: rank %d: %w", pn.n.ID(), st.Err)
@@ -355,6 +401,13 @@ func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
 			}
 		} else {
 			r.stats.Exact++
+		}
+		if r.obs != nil {
+			r.obs.Packet(obs.PacketRecord{
+				SendGuest: tSend, Ideal: tD, Arrival: arr,
+				Src: pn.n.ID(), Dst: dst, Size: f.Size,
+				Straggler: straggler, Snapped: snapped,
+			})
 		}
 		dn.n.Deliver(f, arr)
 		// A parked destination that can now make progress is re-woken.

@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
 	"clustersim/internal/guest"
 	"clustersim/internal/netmodel"
+	"clustersim/internal/obs"
 	"clustersim/internal/simtime"
 	"clustersim/internal/workloads"
 )
@@ -137,6 +140,53 @@ func TestParallelWithOutputQueue(t *testing.T) {
 	}
 	if res.Stats.Packets == 0 {
 		t.Error("no traffic")
+	}
+}
+
+// TestParallelObserver attaches the full observer stack to the wall-clock
+// runner: node goroutines fire NodePhase concurrently with the controller's
+// Packet/Quantum hooks, so under -race this guards the concurrency contract
+// of every bundled observer.
+func TestParallelObserver(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tracer := obs.NewChromeTracer(&buf)
+	w := workloads.Phases(3, 150*simtime.Microsecond, 16<<10)
+	res, err := RunParallel(ParallelConfig{
+		Nodes:            4,
+		Guest:            guest.DefaultConfig(),
+		Net:              netmodel.Paper(),
+		Policy:           adaptive(simtime.Microsecond, simtime.Millisecond, 1.05, 0.02),
+		Program:          w.New,
+		SpinPerGuestBusy: 0.01,
+		MaxGuest:         simtime.Guest(10 * simtime.Second),
+		Observer:         obs.Multi(reg, tracer),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("parallel trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("parallel trace is empty")
+	}
+	s := reg.Snapshot()
+	if got, want := s.Counters["quanta"], int64(res.Stats.Quanta); got != want {
+		t.Errorf("registry quanta = %d, Stats say %d", got, want)
+	}
+	if got, want := s.Counters["deliveries"], int64(res.Stats.Deliveries); got != want {
+		t.Errorf("registry deliveries = %d, Stats say %d", got, want)
+	}
+	if got, want := s.Counters["stragglers"], int64(res.Stats.Stragglers); got != want {
+		t.Errorf("registry stragglers = %d, Stats say %d", got, want)
+	}
+	if s.Counters["nodes_done"] != 4 {
+		t.Errorf("nodes_done = %d, want 4", s.Counters["nodes_done"])
 	}
 }
 

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 	"clustersim/internal/workloads"
@@ -204,6 +207,80 @@ func TestDeterminismProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// logObs records every observer callback as one formatted line, so two
+// runs' hook streams can be compared verbatim.
+type logObs struct {
+	lines []string
+}
+
+func (l *logObs) logf(format string, args ...any) {
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logObs) RunStart(info obs.RunInfo) { l.logf("run start %+v", info) }
+func (l *logObs) RunEnd(sum obs.RunSummary) { l.logf("run end %+v", sum) }
+func (l *logObs) QuantumStart(i int, s simtime.Guest, q simtime.Duration, h simtime.Host) {
+	l.logf("q start %d %v %v %v", i, s, q, h)
+}
+func (l *logObs) QuantumEnd(rec obs.QuantumRecord) { l.logf("q end %+v", rec) }
+func (l *logObs) Packet(rec obs.PacketRecord)      { l.logf("packet %+v", rec) }
+func (l *logObs) NodePhase(node int, ph obs.Phase, gF, gT simtime.Guest, hF, hT simtime.Host) {
+	l.logf("node %d %v %v->%v %v->%v", node, ph, gF, gT, hF, hT)
+}
+
+// TestObservedStreamDeterminism: two runs of the same config must produce
+// identical Stats, identical QuantumRecord/PacketRecord traces, and an
+// identical sequence of observer callbacks — the streaming layer inherits
+// the engine's replayability.
+func TestObservedStreamDeterminism(t *testing.T) {
+	w := workloads.Phases(4, 180*simtime.Microsecond, 24<<10)
+	runOnce := func() (*Result, *logObs) {
+		cfg := testConfig(5, w, adaptive(simtime.Microsecond, simtime.Millisecond, 1.05, 0.02))
+		cfg.TraceQuanta = true
+		cfg.TracePackets = true
+		lo := &logObs{}
+		cfg.Observer = lo
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, lo
+	}
+	res1, log1 := runOnce()
+	res2, log2 := runOnce()
+
+	if res1.Stats != res2.Stats {
+		t.Errorf("Stats differ between identical runs:\n%+v\n%+v", res1.Stats, res2.Stats)
+	}
+	if !reflect.DeepEqual(res1.Quanta, res2.Quanta) {
+		t.Error("QuantumRecord traces differ between identical runs")
+	}
+	if !reflect.DeepEqual(res1.Packets, res2.Packets) {
+		t.Error("PacketRecord traces differ between identical runs")
+	}
+	if len(log1.lines) != len(log2.lines) {
+		t.Fatalf("callback streams differ in length: %d vs %d", len(log1.lines), len(log2.lines))
+	}
+	for i := range log1.lines {
+		if log1.lines[i] != log2.lines[i] {
+			t.Fatalf("callback %d differs:\n%s\n%s", i, log1.lines[i], log2.lines[i])
+		}
+	}
+	if len(log1.lines) == 0 {
+		t.Fatal("observer saw no callbacks")
+	}
+	// Every trace record must have streamed through a QuantumEnd hook.
+	qe := 0
+	for _, line := range log1.lines {
+		if len(line) > 5 && line[:5] == "q end" {
+			qe++
+		}
+	}
+	if qe != len(res1.Quanta) {
+		t.Errorf("streamed %d QuantumEnd hooks, Result has %d records", qe, len(res1.Quanta))
 	}
 }
 

@@ -1,0 +1,196 @@
+// Package obs is the streaming observability layer of the simulator: a set
+// of lifecycle hooks (Observer) that both engines fire as a run unfolds,
+// plus three bundled implementations — a Chrome trace-event exporter
+// (chrometrace.go), a metrics registry with an HTTP endpoint (registry.go),
+// and a live progress reporter for long runs (progress.go).
+//
+// Hooks stream *while the run executes*, unlike Result traces which are only
+// available after Run returns. The deterministic engine fires them
+// single-threaded in a replayable order; the wall-clock parallel runner fires
+// them from multiple goroutines, so every Observer bundled here is
+// safe for concurrent use.
+package obs
+
+import (
+	"clustersim/internal/simtime"
+)
+
+// Phase classifies what a node segment spent its host time on.
+type Phase int
+
+const (
+	// PhaseBusy is detailed execution of workload/protocol code.
+	PhaseBusy Phase = iota
+	// PhaseIdle is the fast-pathed simulation of a blocked guest.
+	PhaseIdle
+	// PhaseDone marks the instant a node's workload finished.
+	PhaseDone
+)
+
+// String returns the phase name used in traces and metrics.
+func (p Phase) String() string {
+	switch p {
+	case PhaseBusy:
+		return "busy"
+	case PhaseIdle:
+		return "idle"
+	case PhaseDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// RunInfo describes a run as it starts.
+type RunInfo struct {
+	// Nodes is the simulated cluster size.
+	Nodes int
+	// Policy names the quantum policy driving the run.
+	Policy string
+	// Parallel is true for the wall-clock goroutine runner, false for the
+	// deterministic engine.
+	Parallel bool
+	// MaxGuest is the configured guest-time backstop (zero if unlimited).
+	MaxGuest simtime.Guest
+}
+
+// RunSummary describes a run as it completes normally. Aborted runs (guest
+// limit, workload error) never reach RunEnd; sinks that must finalize
+// regardless (e.g. ChromeTracer) also finalize on Close.
+type RunSummary struct {
+	// GuestTime is the guest time at which the last workload finished.
+	GuestTime simtime.Guest
+	// HostEnd is the host clock at the end of the run.
+	HostEnd simtime.Host
+}
+
+// QuantumRecord describes one completed synchronization quantum. It is also
+// the element type of Result.Quanta (cluster.QuantumRecord aliases it).
+type QuantumRecord struct {
+	Index      int
+	Start      simtime.Guest    // guest time at quantum start
+	Q          simtime.Duration // quantum duration
+	Packets    int              // frames routed during the quantum
+	Stragglers int
+	HostStart  simtime.Host // barrier release that started the quantum
+	// BarrierStart is the host time the last node arrived at the barrier
+	// (the span BarrierStart..HostEnd is pure synchronization overhead).
+	BarrierStart simtime.Host
+	HostEnd      simtime.Host // barrier release that ended the quantum
+}
+
+// PacketRecord describes one frame delivery. It is also the element type of
+// Result.Packets (cluster.PacketRecord aliases it).
+type PacketRecord struct {
+	SendGuest simtime.Guest // guest time the source handed it to the NIC
+	Ideal     simtime.Guest // exact simulated arrival time
+	Arrival   simtime.Guest // guest time actually delivered
+	Src, Dst  int
+	Size      int
+	Straggler bool
+	Snapped   bool // queued to the next quantum boundary
+}
+
+// Observer receives lifecycle hooks from a running engine. A nil Observer in
+// a config disables all hooks at zero cost: the engines guard every call
+// site with a nil check and build no records.
+//
+// The deterministic engine calls hooks from a single goroutine in a
+// deterministic order; the parallel runner calls NodePhase concurrently from
+// node goroutines, so implementations must be safe for concurrent use.
+// Hooks run on the engine's critical path — expensive sinks should buffer.
+type Observer interface {
+	// RunStart fires once before the first quantum.
+	RunStart(RunInfo)
+	// RunEnd fires once after the last quantum of a successful run.
+	RunEnd(RunSummary)
+	// QuantumStart fires when the barrier releases quantum index, which
+	// covers guest time [start, start+q).
+	QuantumStart(index int, start simtime.Guest, q simtime.Duration, hostStart simtime.Host)
+	// QuantumEnd fires when the quantum's closing barrier completes.
+	QuantumEnd(QuantumRecord)
+	// Packet fires for every frame delivery the controller routes.
+	Packet(PacketRecord)
+	// NodePhase fires when a node segment's extent is known: the node spent
+	// host time [hFrom, hTo] advancing its guest clock from gFrom to gTo in
+	// the given phase. PhaseDone is an instant (gFrom==gTo, hFrom==hTo).
+	NodePhase(node int, phase Phase, gFrom, gTo simtime.Guest, hFrom, hTo simtime.Host)
+}
+
+// Base is a no-op Observer for embedding: override only the hooks you need.
+type Base struct{}
+
+// RunStart implements Observer.
+func (Base) RunStart(RunInfo) {}
+
+// RunEnd implements Observer.
+func (Base) RunEnd(RunSummary) {}
+
+// QuantumStart implements Observer.
+func (Base) QuantumStart(int, simtime.Guest, simtime.Duration, simtime.Host) {}
+
+// QuantumEnd implements Observer.
+func (Base) QuantumEnd(QuantumRecord) {}
+
+// Packet implements Observer.
+func (Base) Packet(PacketRecord) {}
+
+// NodePhase implements Observer.
+func (Base) NodePhase(int, Phase, simtime.Guest, simtime.Guest, simtime.Host, simtime.Host) {}
+
+// multi fans hooks out to several observers in order.
+type multi []Observer
+
+// Multi combines observers into one that invokes each in order. Nil entries
+// are dropped; Multi() and Multi(nil...) return nil, so callers can always
+// pass the result straight into a config.
+func Multi(os ...Observer) Observer {
+	var ms multi
+	for _, o := range os {
+		if o != nil {
+			ms = append(ms, o)
+		}
+	}
+	switch len(ms) {
+	case 0:
+		return nil
+	case 1:
+		return ms[0]
+	}
+	return ms
+}
+
+func (m multi) RunStart(info RunInfo) {
+	for _, o := range m {
+		o.RunStart(info)
+	}
+}
+
+func (m multi) RunEnd(sum RunSummary) {
+	for _, o := range m {
+		o.RunEnd(sum)
+	}
+}
+
+func (m multi) QuantumStart(index int, start simtime.Guest, q simtime.Duration, hostStart simtime.Host) {
+	for _, o := range m {
+		o.QuantumStart(index, start, q, hostStart)
+	}
+}
+
+func (m multi) QuantumEnd(rec QuantumRecord) {
+	for _, o := range m {
+		o.QuantumEnd(rec)
+	}
+}
+
+func (m multi) Packet(rec PacketRecord) {
+	for _, o := range m {
+		o.Packet(rec)
+	}
+}
+
+func (m multi) NodePhase(node int, phase Phase, gFrom, gTo simtime.Guest, hFrom, hTo simtime.Host) {
+	for _, o := range m {
+		o.NodePhase(node, phase, gFrom, gTo, hFrom, hTo)
+	}
+}

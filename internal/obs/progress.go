@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"clustersim/internal/simtime"
+)
+
+// Progress is an Observer that periodically reports how far a long run has
+// advanced: guest time (and percentage of the target, when one is known),
+// quanta per wall-clock second, the current quantum size, and the straggler
+// rate. Updates are rate-limited by wall time so the hook itself is cheap on
+// runs with millions of quanta.
+//
+// Reports go to a single writer (conventionally stderr, so piped stdout
+// output such as CSV or charts stays clean).
+type Progress struct {
+	mu sync.Mutex
+	w  io.Writer
+	// target is the guest time treated as 100%; zero reports absolute guest
+	// time only.
+	target simtime.Guest
+	// interval is the minimum wall time between reports.
+	interval time.Duration
+
+	start      time.Time
+	lastReport time.Time
+	lastQuanta int64
+
+	quanta     int64
+	packets    int64
+	stragglers int64
+	guest      simtime.Guest
+	curQ       simtime.Duration
+}
+
+// NewProgress returns a reporter writing to w. target is the guest time
+// treated as 100% (zero if unknown). Updates are emitted at most every
+// interval; interval <= 0 uses a 500ms default.
+func NewProgress(w io.Writer, target simtime.Guest, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return &Progress{w: w, target: target, interval: interval}
+}
+
+// RunStart starts the wall clock.
+func (p *Progress) RunStart(info RunInfo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.start = time.Now()
+	p.lastReport = p.start
+	if p.target == 0 {
+		p.target = info.MaxGuest
+	}
+}
+
+// RunEnd emits the final report.
+func (p *Progress) RunEnd(sum RunSummary) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.guest = sum.GuestTime
+	p.report(true)
+}
+
+// QuantumStart tracks the live quantum size.
+func (p *Progress) QuantumStart(index int, start simtime.Guest, q simtime.Duration, hostStart simtime.Host) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.curQ = q
+}
+
+// QuantumEnd advances the counters and reports if enough wall time passed.
+func (p *Progress) QuantumEnd(rec QuantumRecord) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.quanta++
+	p.packets += int64(rec.Packets)
+	p.stragglers += int64(rec.Stragglers)
+	p.guest = rec.Start.Add(rec.Q)
+	if time.Since(p.lastReport) >= p.interval {
+		p.report(false)
+	}
+}
+
+// Packet implements Observer.
+func (p *Progress) Packet(PacketRecord) {}
+
+// NodePhase implements Observer.
+func (p *Progress) NodePhase(int, Phase, simtime.Guest, simtime.Guest, simtime.Host, simtime.Host) {}
+
+// report writes one status line. Callers hold p.mu.
+func (p *Progress) report(final bool) {
+	now := time.Now()
+	wall := now.Sub(p.lastReport)
+	rate := 0.0
+	if wall > 0 {
+		rate = float64(p.quanta-p.lastQuanta) / wall.Seconds()
+	}
+	p.lastReport = now
+	p.lastQuanta = p.quanta
+
+	label := "progress"
+	if final {
+		label = "finished"
+		elapsed := now.Sub(p.start)
+		rate = 0
+		if elapsed > 0 {
+			rate = float64(p.quanta) / elapsed.Seconds()
+		}
+	}
+	pct := ""
+	if p.target > 0 {
+		pct = fmt.Sprintf(" (%.1f%%)", 100*float64(p.guest)/float64(p.target))
+	}
+	strag := 0.0
+	if p.packets > 0 {
+		strag = 100 * float64(p.stragglers) / float64(p.packets)
+	}
+	fmt.Fprintf(p.w, "%s: guest %v%s | %d quanta (%.0f/s) | Q=%v | stragglers %.1f%%\n",
+		label, p.guest, pct, p.quanta, rate, p.curQ, strag)
+}
