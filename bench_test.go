@@ -49,6 +49,28 @@ func BenchmarkFig6NAS(b *testing.B) {
 	}
 }
 
+// BenchmarkFig6Workers measures the experiment fan-out: the same reduced
+// Figure 6 grid run fully sequentially versus with the worker pool sized to
+// the host (Env.Workers = 0 → GOMAXPROCS). The grid's simulations are
+// independent and deterministic, so the speedup is pure parallel efficiency —
+// on an N-core host the pool run should approach N× (identical output either
+// way; TestFig6WorkerCountInvariance pins that).
+func BenchmarkFig6Workers(b *testing.B) {
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			env := experiments.DefaultEnv()
+			env.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.Fig6(env, benchScale, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("seq", run(1))
+	b.Run("pool", run(0))
+}
+
 // BenchmarkFig7NAMD regenerates Figure 7: NAMD at 2/4/8 nodes.
 func BenchmarkFig7NAMD(b *testing.B) {
 	env := experiments.DefaultEnv()

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,6 +39,7 @@ var (
 	widthFlag    = flag.Int("width", 100, "chart width in columns")
 	parallelFlag = flag.Bool("parallel", false, "run with real goroutine parallelism and wall-clock timing")
 	spinFlag     = flag.Float64("spin", 0.02, "real ns of CPU burned per guest busy ns (parallel mode)")
+	workersFlag  = flag.Int("workers", 0, "cap on host cores used, 0 = all (sets GOMAXPROCS; mainly for taming -parallel runs)")
 	traceFlag    = flag.String("tracefile", "", "run a JSON communication trace (workloads.TraceFile schema) instead of -workload; -nodes must match its rank count")
 
 	traceOutFlag    = flag.String("trace-out", "", "stream a Chrome trace-event JSON file here (open in chrome://tracing or ui.perfetto.dev)")
@@ -186,6 +188,9 @@ func run() (err error) {
 	policy, err := parsePolicy()
 	if err != nil {
 		return err
+	}
+	if *workersFlag > 0 {
+		runtime.GOMAXPROCS(*workersFlag)
 	}
 	env := experiments.DefaultEnv()
 	env.Host.Seed = *seedFlag

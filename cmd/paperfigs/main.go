@@ -27,11 +27,12 @@ import (
 type workloadsAlias = workloads.Workload
 
 var (
-	figFlag   = flag.String("fig", "all", "which artifact: 6, 7, 8, 9, 9a, 9b, 9c, ablation, host, oracle, optimistic, sampling, extras, scaling, all")
-	scaleFlag = flag.Float64("scale", 1.0, "workload compute scale factor (0.25 for a quick look)")
-	nodesFlag = flag.Int("nodes", 64, "node count for the Figure 9 scale-out studies")
-	widthFlag = flag.Int("width", 100, "chart width in columns")
-	csvFlag   = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	figFlag     = flag.String("fig", "all", "which artifact: 6, 7, 8, 9, 9a, 9b, 9c, ablation, host, oracle, optimistic, sampling, extras, scaling, all")
+	scaleFlag   = flag.Float64("scale", 1.0, "workload compute scale factor (0.25 for a quick look)")
+	nodesFlag   = flag.Int("nodes", 64, "node count for the Figure 9 scale-out studies")
+	widthFlag   = flag.Int("width", 100, "chart width in columns")
+	csvFlag     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	workersFlag = flag.Int("workers", 0, "concurrent simulations per experiment grid (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 
 func run() error {
 	env := experiments.DefaultEnv()
+	env.Workers = *workersFlag
 	which := strings.ToLower(*figFlag)
 	all := which == "all"
 

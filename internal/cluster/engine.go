@@ -74,8 +74,8 @@ type nodeState struct {
 	segStartH  simtime.Host
 	segEndG    simtime.Guest
 	segEndH    simtime.Host
-	wakeEv     *eventq.Event[event] // cancellable pending wake
-	doneIdling bool                 // workload finished; idling to each barrier
+	wakeEv     eventq.Handle // cancellable pending wake (zero = none)
+	doneIdling bool          // workload finished; idling to each barrier
 
 	txFree     simtime.Guest // guest time the NIC's transmitter frees up
 	finishHost simtime.Host  // host time the node reached the current barrier
@@ -177,7 +177,7 @@ func (e *engine) run() error {
 			ns.phase = phRunning
 			ns.hostNow = hostNow
 			ns.inSeg = false
-			ns.wakeEv = nil
+			ns.wakeEv = eventq.Handle{}
 			ns.finishHost = hostNow
 			if ns.n.Done() {
 				// A finished workload's simulator idles through the
@@ -275,7 +275,7 @@ func (e *engine) dispatch(h simtime.Host, ev event) {
 			// have re-aimed it since idleTo, so it is reported at its end.
 			e.obs.NodePhase(ev.node, obs.PhaseIdle, ns.segStartG, ev.gTarget, ns.segStartH, h)
 		}
-		ns.wakeEv = nil
+		ns.wakeEv = eventq.Handle{}
 		ns.inSeg = false
 		ns.hostNow = h
 		ns.n.WakeAt(ev.gTarget)
@@ -530,7 +530,7 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 			e.obs.NodePhase(ev.dst, obs.PhaseIdle, ns.segStartG, arr,
 				ns.segStartH, simtime.MaxHost(h, ns.segStartH))
 		}
-		ns.wakeEv = nil
+		ns.wakeEv = eventq.Handle{}
 		ns.inSeg = false
 		ns.hostNow = h
 		ns.n.WakeAt(arr)

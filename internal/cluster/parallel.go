@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clustersim/internal/guest"
@@ -79,10 +80,26 @@ const (
 
 type pnode struct {
 	n      *guest.Node
-	state  pnodeState
+	state  pnodeState // guarded by prun.mu
 	txFree simtime.Guest
+	// wake is this node's private wakeup hint (buffered 1): quantum start,
+	// delivery unpark, or shutdown. All state decisions are re-checked under
+	// prun.mu; the channel only bounds who gets woken. A delivery therefore
+	// wakes exactly its destination goroutine — never the whole cluster, as
+	// the previous cond.Broadcast barrier did.
+	wake chan struct{}
+	// limit caches the current quantum's boundary. The node copies it from
+	// prun.limit (under mu) once per quantum entry, so the hot blocked-step
+	// path reads it without a controller-mutex round-trip. Only the owning
+	// goroutine touches it.
+	limit simtime.Guest
 }
 
+// prun is the shared state of one parallel run. The controller mutex guards
+// node states, routing and per-quantum counters — the centralized network
+// controller of the paper. Synchronization around it is channel-based:
+// barrier signals flow point-to-point instead of broadcast-waking all N
+// goroutines on every delivery and arrival.
 type prun struct {
 	cfg ParallelConfig
 	obs obs.Observer
@@ -90,8 +107,12 @@ type prun struct {
 	// can fire a hook.
 	startWall time.Time
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+	// barrier tells the controller the quantum may be over: the last arrival
+	// (or a failing node) posts one token. Buffered 1, non-blocking sends;
+	// the controller re-checks the arrival count under mu, so a stale token
+	// costs one spurious re-check, never a missed release.
+	barrier chan struct{}
 
 	nodes    []*pnode
 	portFree []simtime.Guest // per-destination switch port clocks (OutputQueue)
@@ -102,6 +123,11 @@ type prun struct {
 	done     int
 	np       int // frames routed this quantum
 	str      int // stragglers this quantum
+	// firstArr is the host time of this quantum's first barrier arrival;
+	// haveArr gates it. The span from firstArr to the barrier release is the
+	// real synchronization wait charged to Stats.HostBarrier.
+	firstArr simtime.Host
+	haveArr  bool
 	stats    Stats
 	sumQ     float64
 	wErr     error
@@ -116,11 +142,13 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if cfg.Net == nil || cfg.Policy == nil || cfg.Program == nil {
 		return nil, fmt.Errorf("cluster: parallel config missing net/policy/program")
 	}
-	r := &prun{cfg: cfg, obs: cfg.Observer}
-	r.cond = sync.NewCond(&r.mu)
+	r := &prun{cfg: cfg, obs: cfg.Observer, barrier: make(chan struct{}, 1)}
 	r.portFree = make([]simtime.Guest, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		r.nodes = append(r.nodes, &pnode{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes))})
+		r.nodes = append(r.nodes, &pnode{
+			n:    guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes)),
+			wake: make(chan struct{}, 1),
+		})
 	}
 	policy := cfg.Policy()
 	r.startWall = time.Now()
@@ -154,7 +182,11 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 			}
 			r.limit = guestStart.Add(Q)
 			r.np, r.str = 0, 0
+			// Nodes that finished in earlier quanta stand permanently at the
+			// barrier; pre-counting them keeps the arrival count consistent
+			// however unevenly the workloads drain.
 			r.atLimit = r.done
+			r.haveArr = false
 			for _, pn := range r.nodes {
 				if pn.state != pnDone {
 					pn.n.BeginQuantum(r.limit)
@@ -166,9 +198,15 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 				r.obs.QuantumStart(qi, guestStart, Q, qStartH)
 			}
 			r.gen++
-			r.cond.Broadcast()
+			for _, pn := range r.nodes {
+				if pn.state != pnDone {
+					wakeNode(pn)
+				}
+			}
 			for r.atLimit < len(r.nodes) && r.wErr == nil {
-				r.cond.Wait()
+				r.mu.Unlock()
+				<-r.barrier
+				r.mu.Lock()
 			}
 			if r.wErr != nil {
 				return r.wErr
@@ -189,7 +227,9 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	// for the next generation).
 	r.mu.Lock()
 	r.stop = true
-	r.cond.Broadcast()
+	for _, pn := range r.nodes {
+		wakeNode(pn)
+	}
 	r.mu.Unlock()
 	wg.Wait()
 	for _, pn := range r.nodes {
@@ -215,6 +255,37 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	return res, nil
 }
 
+// wakeNode posts a wakeup hint to pn. Non-blocking: a token already in the
+// buffer guarantees the node will re-check its state, so a second is
+// redundant.
+func wakeNode(pn *pnode) {
+	select {
+	case pn.wake <- struct{}{}:
+	default:
+	}
+}
+
+// arrive records one more node at the barrier (parked, at-limit or done).
+// Called with mu held. The last arrival releases the controller.
+func (r *prun) arrive() {
+	r.atLimit++
+	if !r.haveArr {
+		r.haveArr = true
+		r.firstArr = r.hostNow()
+	}
+	if r.atLimit == len(r.nodes) {
+		r.signalController()
+	}
+}
+
+// signalController posts the barrier token (non-blocking; buffered 1).
+func (r *prun) signalController() {
+	select {
+	case r.barrier <- struct{}{}:
+	default:
+	}
+}
+
 // hostNow is the hook host clock: real nanoseconds since the run started.
 func (r *prun) hostNow() simtime.Host {
 	return simtime.Host(time.Since(r.startWall).Nanoseconds())
@@ -223,11 +294,16 @@ func (r *prun) hostNow() simtime.Host {
 func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qStartH simtime.Host) {
 	r.stats.observeQuantum(Q, r.np)
 	r.sumQ += float64(Q)
+	end := r.hostNow()
+	// The barrier span runs from the first arrival to the release that is
+	// happening right now. A quantum whose nodes all arrived "at once" (or
+	// where every node was already done) collapses to the end instant.
+	bStart := end
+	if r.haveArr && r.firstArr < end {
+		bStart = r.firstArr
+	}
+	r.stats.HostBarrier += end.Sub(bStart)
 	if r.obs != nil {
-		// The closing barrier is the condition-variable wait that just
-		// completed; by the time it is observable all nodes have arrived, so
-		// the barrier span collapses to the quantum's end instant.
-		end := r.hostNow()
 		r.obs.QuantumEnd(obs.QuantumRecord{
 			Index:        qi,
 			Start:        start,
@@ -235,7 +311,7 @@ func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qS
 			Packets:      r.np,
 			Stragglers:   r.str,
 			HostStart:    qStartH,
-			BarrierStart: end,
+			BarrierStart: bStart,
 			HostEnd:      end,
 		})
 	}
@@ -244,29 +320,30 @@ func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qS
 // nodeLoop drives one node across quanta.
 func (r *prun) nodeLoop(pn *pnode) {
 	gen := 0
-	r.mu.Lock()
 	for {
+		r.mu.Lock()
 		for r.gen == gen && !r.stop {
-			r.cond.Wait()
+			r.mu.Unlock()
+			<-pn.wake
+			r.mu.Lock()
 		}
 		if r.stop {
 			r.mu.Unlock()
 			return
 		}
 		gen = r.gen
+		pn.limit = r.limit
 		r.mu.Unlock()
-		r.runQuantum(pn, gen)
-		r.mu.Lock()
-		if pn.state == pnDone {
-			r.mu.Unlock()
+		if done := r.runQuantum(pn, gen); done {
 			return
 		}
 	}
 }
 
 // runQuantum advances pn until it reaches the quantum boundary (possibly
-// parking and being re-woken by deliveries) or its workload finishes.
-func (r *prun) runQuantum(pn *pnode, gen int) {
+// parking and being re-woken by deliveries) or its workload finishes. It
+// reports whether the workload finished.
+func (r *prun) runQuantum(pn *pnode, gen int) bool {
 	for {
 		st := pn.n.Step()
 		switch st.Kind {
@@ -283,9 +360,10 @@ func (r *prun) runQuantum(pn *pnode, gen int) {
 			r.route(pn, st.Frame, st.To)
 
 		case guest.StepBlocked:
-			limit := r.quantumLimit()
+			// pn.limit is the node-local copy of this quantum's boundary —
+			// no controller-mutex round-trip on the hot blocked path.
 			target := simtime.MinGuest(st.NextArrival, st.Deadline)
-			target = simtime.MinGuest(target, limit)
+			target = simtime.MinGuest(target, pn.limit)
 			if target > st.To {
 				// Idle simulation is effectively free in real time: jump.
 				pn.n.WakeAt(target)
@@ -293,17 +371,16 @@ func (r *prun) runQuantum(pn *pnode, gen int) {
 			}
 			// Blocked at the boundary with nothing deliverable: park.
 			if !r.park(pn, gen) {
-				return // quantum ended while parked
+				return false // quantum ended (or shutdown) while parked
 			}
 			// Re-woken by a delivery: keep stepping.
 
 		case guest.StepLimit:
 			r.mu.Lock()
 			pn.state = pnAtLimit
-			r.atLimit++
-			r.cond.Broadcast()
+			r.arrive()
 			r.mu.Unlock()
-			return
+			return false
 
 		case guest.StepDone:
 			if r.obs != nil {
@@ -313,39 +390,32 @@ func (r *prun) runQuantum(pn *pnode, gen int) {
 			r.mu.Lock()
 			if st.Err != nil && r.wErr == nil {
 				r.wErr = fmt.Errorf("cluster: rank %d: %w", pn.n.ID(), st.Err)
+				r.signalController() // fail the run even with nodes still out
 			}
 			pn.state = pnDone
 			r.done++
-			r.atLimit++
-			r.cond.Broadcast()
+			r.arrive()
 			r.mu.Unlock()
-			return
+			return true
 		}
 	}
 }
 
 // park blocks pn at the quantum boundary. It reports true if the node was
 // re-woken by a delivery within the same quantum (continue stepping) and
-// false if the quantum ended.
+// false if the quantum ended or the run is shutting down.
 func (r *prun) park(pn *pnode, gen int) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	pn.state = pnParked
-	r.atLimit++
-	r.cond.Broadcast()
+	r.arrive()
 	for pn.state == pnParked && r.gen == gen && !r.stop {
-		r.cond.Wait()
+		r.mu.Unlock()
+		<-pn.wake
+		r.mu.Lock()
 	}
-	if pn.state == pnRunning && r.gen == gen && !r.stop {
-		return true
-	}
-	return false
-}
-
-func (r *prun) quantumLimit() simtime.Guest {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.limit
+	ok := pn.state == pnRunning && r.gen == gen && !r.stop
+	r.mu.Unlock()
+	return ok
 }
 
 // route is the controller: it computes the frame's exact arrival time and
@@ -410,11 +480,12 @@ func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
 			})
 		}
 		dn.n.Deliver(f, arr)
-		// A parked destination that can now make progress is re-woken.
+		// A parked destination that can now make progress is re-woken —
+		// point-to-point, leaving every other node undisturbed.
 		if dn.state == pnParked && arr <= r.limit {
 			dn.state = pnRunning
 			r.atLimit--
-			r.cond.Broadcast()
+			wakeNode(dn)
 		}
 	}
 
@@ -436,11 +507,60 @@ func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
 }
 
 // spin burns real CPU for d, the real-time analogue of simulation slowdown.
+// The clock is read once per calibrated batch of loop iterations rather
+// than every iteration, so short spins do not spend most of their budget in
+// time.Now.
 func spin(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	end := time.Now().Add(d)
-	for time.Now().Before(end) {
+	spinOnce.Do(calibrateSpin)
+	batch := int(atomic.LoadInt64(&spinBatch))
+	var acc uint64
+	start := time.Now()
+	for time.Since(start) < d {
+		acc = spinWork(acc, batch)
 	}
+	atomic.StoreUint64(&spinSink, acc) // keep the work observable (no DCE)
+}
+
+// spinBatchTarget is how much wall time one batch of spin work should take
+// between clock reads: long enough that time.Now is a rounding error, short
+// enough that spins only overshoot by a fraction of a microsecond.
+const spinBatchTarget = 200 * time.Nanosecond
+
+var (
+	spinOnce  sync.Once
+	spinBatch int64 = 1 << 10 // calibrated at first use
+	spinSink  uint64
+)
+
+// calibrateSpin times a probe run of spinWork and sizes the batch so one
+// batch costs roughly spinBatchTarget.
+func calibrateSpin() {
+	const probe = 1 << 18
+	start := time.Now()
+	acc := spinWork(1, probe)
+	elapsed := time.Since(start)
+	atomic.StoreUint64(&spinSink, acc)
+	if elapsed <= 0 {
+		return // keep the default batch
+	}
+	b := int64(float64(probe) * float64(spinBatchTarget) / float64(elapsed))
+	if b < 16 {
+		b = 16
+	}
+	atomic.StoreInt64(&spinBatch, b)
+}
+
+// spinWork is the unit of busy work between clock reads. It feeds its
+// result back to the caller (and ultimately a package sink) so the compiler
+// cannot eliminate the loop.
+//
+//go:noinline
+func spinWork(acc uint64, n int) uint64 {
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
 }

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"testing"
+
+	"clustersim/internal/guest"
+	"clustersim/internal/netmodel"
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+// BenchmarkParallelBarrier measures the parallel runner's synchronization
+// throughput: an 8-node communicating workload under a small fixed quantum,
+// reported as quanta per second. This is the barrier + routing hot path — the
+// per-quantum cost of waking nodes, collecting arrivals and releasing the
+// controller — so it is the headline number for the channel-based barrier.
+func BenchmarkParallelBarrier(b *testing.B) {
+	w := workloads.Phases(6, 200*simtime.Microsecond, 16<<10)
+	b.ReportAllocs()
+	var quanta int
+	for i := 0; i < b.N; i++ {
+		res, err := RunParallel(ParallelConfig{
+			Nodes:    8,
+			Guest:    guest.DefaultConfig(),
+			Net:      netmodel.Paper(),
+			Policy:   fixed(20 * simtime.Microsecond),
+			Program:  w.New,
+			MaxGuest: simtime.Guest(simtime.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		quanta += res.Stats.Quanta
+	}
+	b.ReportMetric(float64(quanta)/b.Elapsed().Seconds(), "quanta/s")
+}

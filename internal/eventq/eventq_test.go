@@ -54,25 +54,40 @@ func TestRemove(t *testing.T) {
 	if q.Remove(e2) {
 		t.Fatal("double Remove returned true")
 	}
-	if q.Pop() != e1 || q.Pop() != e3 {
+	if q.Pop().Payload != 1 || q.Pop().Payload != 3 {
 		t.Error("wrong events after removal")
 	}
 	if q.Remove(e1) {
 		t.Error("Remove of popped event returned true")
 	}
-	if q.Remove(nil) {
-		t.Error("Remove(nil) returned true")
+	if q.Remove(Handle{}) {
+		t.Error("Remove of the zero Handle returned true")
+	}
+	_ = e3
+}
+
+// A handle must stay dead even after its slot is recycled by later pushes.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	var q Queue[int]
+	h := q.Push(1, 1)
+	q.Pop()
+	h2 := q.Push(2, 2) // reuses the freed slot
+	if q.Remove(h) {
+		t.Fatal("stale handle removed a recycled slot's event")
+	}
+	if !q.Remove(h2) {
+		t.Fatal("live handle on a recycled slot not removable")
 	}
 }
 
 func TestPeek(t *testing.T) {
 	var q Queue[int]
-	if q.Peek() != nil {
-		t.Error("Peek on empty queue not nil")
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek on empty queue reported an item")
 	}
 	q.Push(9, 1)
 	q.Push(4, 2)
-	if q.Peek().Time != 4 {
+	if it, ok := q.Peek(); !ok || it.Time != 4 {
 		t.Error("Peek returned wrong event")
 	}
 	if q.Len() != 2 {
@@ -82,68 +97,123 @@ func TestPeek(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	var q Queue[int]
-	q.Push(1, 1)
+	h := q.Push(1, 1)
 	q.Push(2, 2)
 	q.Clear()
-	if q.Len() != 0 || q.Peek() != nil {
+	if q.Len() != 0 {
 		t.Error("Clear left events behind")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Error("Peek after Clear reported an item")
+	}
+	if q.Remove(h) {
+		t.Error("Remove after Clear returned true")
+	}
+	q.Push(3, 3)
+	if q.Pop().Payload != 3 {
+		t.Error("queue unusable after Clear")
 	}
 }
 
-// Property: popping returns events in nondecreasing time order and exactly
-// the pushed multiset, under random interleavings of pushes, pops and
-// removals.
-func TestPropertyRandomOps(t *testing.T) {
-	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
-		var q Queue[int64]
-		var live []*Event[int64]
-		var popped []int64
-		pushed := map[int64]int{}
-		removed := map[int64]int{}
-		for op := 0; op < 500; op++ {
-			switch r.Intn(4) {
-			case 0, 1:
-				tm := int64(r.Intn(50))
-				e := q.Push(tm, tm)
-				live = append(live, e)
-				pushed[tm]++
-			case 2:
-				if q.Len() > 0 {
-					popped = append(popped, q.Pop().Payload)
-				}
-			case 3:
-				if len(live) > 0 {
-					i := r.Intn(len(live))
-					if q.Remove(live[i]) {
-						removed[live[i].Payload]++
-					}
-					live = append(live[:i], live[i+1:]...)
-				}
-			}
-		}
-		for q.Len() > 0 {
-			popped = append(popped, q.Pop().Payload)
-		}
-		// popped ∪ removed must equal pushed... but pops interleaved with
-		// pushes need not be globally sorted; only each drain segment is.
-		got := map[int64]int{}
-		for _, v := range popped {
-			got[v]++
-		}
-		for v, n := range removed {
-			got[v] += n
-		}
-		for v, n := range pushed {
-			if got[v] != n {
-				return false
-			}
-			delete(got, v)
-		}
-		return len(got) == 0
+// refEvent mirrors one pushed event in the naive reference model.
+type refEvent struct {
+	time int64
+	pri  int
+	seq  uint64
+	pay  int64
+}
+
+func refLess(a, b refEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Error(err)
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+// checkAgainstReference drives the queue and a naive sorted-slice reference
+// through the same random push/pop/remove interleaving and fails on the
+// first divergence: every pop must return exactly the reference's minimum
+// by (time, priority, seq).
+func checkAgainstReference(t *testing.T, r *rand.Rand, ops int) {
+	t.Helper()
+	var q Queue[int64]
+	var ref []refEvent          // live events, unsorted
+	handles := map[uint64]Handle{} // seq -> handle for random removal
+	var seq uint64
+	popMin := func() refEvent {
+		best := 0
+		for i := 1; i < len(ref); i++ {
+			if refLess(ref[i], ref[best]) {
+				best = i
+			}
+		}
+		ev := ref[best]
+		ref = append(ref[:best], ref[best+1:]...)
+		return ev
+	}
+	for op := 0; op < ops; op++ {
+		switch r.Intn(5) {
+		case 0, 1:
+			tm := int64(r.Intn(60))
+			pri := r.Intn(3)
+			seq++
+			pay := int64(seq)
+			h := q.PushPri(tm, pri, pay)
+			ref = append(ref, refEvent{time: tm, pri: pri, seq: seq, pay: pay})
+			handles[seq] = h
+		case 2, 3:
+			if q.Len() != len(ref) {
+				t.Fatalf("op %d: length mismatch: queue %d, reference %d", op, q.Len(), len(ref))
+			}
+			if len(ref) == 0 {
+				continue
+			}
+			want := popMin()
+			got := q.Pop()
+			if got.Time != want.time || got.Priority != want.pri || got.Payload != want.pay {
+				t.Fatalf("op %d: pop mismatch: got (t=%d p=%d pay=%d), want (t=%d p=%d pay=%d)",
+					op, got.Time, got.Priority, got.Payload, want.time, want.pri, want.pay)
+			}
+			delete(handles, want.seq)
+		case 4:
+			if len(ref) == 0 {
+				continue
+			}
+			victim := ref[r.Intn(len(ref))]
+			if !q.Remove(handles[victim.seq]) {
+				t.Fatalf("op %d: Remove of live event (seq %d) returned false", op, victim.seq)
+			}
+			for i := range ref {
+				if ref[i].seq == victim.seq {
+					ref = append(ref[:i], ref[i+1:]...)
+					break
+				}
+			}
+			delete(handles, victim.seq)
+		}
+	}
+	for len(ref) > 0 {
+		want := popMin()
+		got := q.Pop()
+		if got.Time != want.time || got.Priority != want.pri || got.Payload != want.pay {
+			t.Fatalf("drain: pop mismatch: got (t=%d p=%d pay=%d), want (t=%d p=%d pay=%d)",
+				got.Time, got.Priority, got.Payload, want.time, want.pri, want.pay)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after drain: %d left", q.Len())
+	}
+}
+
+// Property: under random push/pop/remove interleavings the queue pops in
+// exactly (time, priority, seq) order, cross-checked against a naive
+// reference.
+func TestPropertyAgainstReference(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		checkAgainstReference(t, rand.New(rand.NewSource(seed)), 800)
 	}
 }
 
@@ -162,5 +232,34 @@ func TestPropertySortedDrain(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// Steady-state operation must not allocate: once the arena has grown to the
+// working depth, push/pop/remove churn recycles slots through the free list.
+func TestZeroSteadyStateAllocs(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 256; i++ { // warm the arena past the churn depth
+		q.Push(int64(i), i)
+	}
+	for q.Len() > 64 {
+		q.Pop()
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		h := q.Push(int64(i%977), i)
+		q.Pop()
+		q.Push(int64(i%983), i)
+		if !q.Remove(h) {
+			// h may legitimately have been the event just popped.
+			q.Pop()
+		} else {
+			q.Pop()
+		}
+		q.Push(int64(i%991), i)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocated %.1f times per op, want 0", allocs)
 	}
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"strconv"
-	"sync"
 
 	"clustersim/internal/metrics"
 	"clustersim/internal/quantum"
@@ -29,13 +28,11 @@ func AblationIncDec(env Env, w workloads.Workload, nodes int, incs, decs []float
 	}
 	baseMetric, _ := base.Metric(w.Metric)
 
-	type idx struct{ i, d int }
-	rows := make(map[idx]AblationRow)
-	var mu sync.Mutex
+	out := make([]AblationRow, len(incs)*len(decs))
 	var jobs []job
 	for i, inc := range incs {
 		for d, dec := range decs {
-			i, d, inc, dec := i, d, inc, dec
+			ri, inc, dec := i*len(decs)+d, inc, dec
 			spec := DynSpec(
 				// Label like "1.03:0.02".
 				formatIncDec(inc, dec),
@@ -47,26 +44,18 @@ func AblationIncDec(env Env, w workloads.Workload, nodes int, incs, decs []float
 					return err
 				}
 				m, _ := res.Metric(w.Metric)
-				mu.Lock()
-				rows[idx{i, d}] = AblationRow{
+				out[ri] = AblationRow{
 					Label:   spec.Label,
 					AccErr:  metrics.RelError(m, baseMetric),
 					Speedup: metrics.Speedup(float64(res.HostTime), float64(base.HostTime)),
 					MeanQ:   res.Stats.MeanQ,
 				}
-				mu.Unlock()
 				return nil
 			}})
 		}
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
-	}
-	var out []AblationRow
-	for i := range incs {
-		for d := range decs {
-			out = append(out, rows[idx{i, d}])
-		}
 	}
 	return out, nil
 }
@@ -135,7 +124,7 @@ func AblationOracle(env Env, w workloads.Workload, nodes int, min, max simtime.D
 			return nil
 		}})
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -143,12 +132,11 @@ func AblationOracle(env Env, w workloads.Workload, nodes int, min, max simtime.D
 
 // AblationHost runs the host-parameter sensitivity sweep.
 func AblationHost(env Env, w workloads.Workload, nodes int, barriers []simtime.Duration, jitters []float64) ([]HostAblationRow, error) {
-	var out []HostAblationRow
-	var mu sync.Mutex
+	out := make([]HostAblationRow, len(barriers)*len(jitters))
 	var jobs []job
-	for _, bc := range barriers {
-		for _, jit := range jitters {
-			bc, jit := bc, jit
+	for bi, bc := range barriers {
+		for ji, jit := range jitters {
+			ri, bc, jit := bi*len(jitters)+ji, bc, jit
 			jobs = append(jobs, job{name: bc.String(), run: func() error {
 				e := env
 				e.Host.BarrierCost = bc
@@ -161,19 +149,17 @@ func AblationHost(env Env, w workloads.Workload, nodes int, barriers []simtime.D
 				if err != nil {
 					return err
 				}
-				mu.Lock()
-				out = append(out, HostAblationRow{
+				out[ri] = HostAblationRow{
 					Label:       "barrier=" + bc.String() + " σ=" + trim(jit),
 					BarrierCost: bc,
 					Jitter:      jit,
 					Speedup1k:   metrics.Speedup(float64(big.HostTime), float64(base.HostTime)),
-				})
-				mu.Unlock()
+				}
 				return nil
 			}})
 		}
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
 	}
 	return out, nil

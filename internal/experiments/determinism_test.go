@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The experiment fan-out must be invisible in the results: the same grid
+// run sequentially and with an oversubscribed worker pool has to produce
+// identical aggregated rows and identical per-cell values, in the same
+// order. (Each simulation is deterministic; this pins the assembly.)
+func TestFig6WorkerCountInvariance(t *testing.T) {
+	run := func(workers int) ([]AggRow, []Cell) {
+		env := DefaultEnv()
+		env.Workers = workers
+		rows, cells, err := Fig6(env, 0.02, []int{2, 4})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rows, cells
+	}
+	rows1, cells1 := run(1)
+	rows8, cells8 := run(8)
+	if len(rows1) == 0 || len(cells1) == 0 {
+		t.Fatal("empty Fig6 output")
+	}
+	if !reflect.DeepEqual(rows1, rows8) {
+		t.Errorf("aggregated rows differ between workers=1 and workers=8:\n%+v\n%+v", rows1, rows8)
+	}
+	if !reflect.DeepEqual(cells1, cells8) {
+		t.Error("cells differ between workers=1 and workers=8")
+	}
+}
+
+// Same invariance for the sweep runners that assemble by index.
+func TestAblationWorkerCountInvariance(t *testing.T) {
+	w := NASSuite(0.02)[1] // nas.is, traffic-heavy and quick at tiny scale
+	run := func(workers int) []AblationRow {
+		env := DefaultEnv()
+		env.Workers = workers
+		rows, err := AblationIncDec(env, w, 2, []float64{1.03, 1.1}, []float64{0.02, 0.5})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rows
+	}
+	r1 := run(1)
+	r4 := run(4)
+	if len(r1) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(r1))
+	}
+	if !reflect.DeepEqual(r1, r4) {
+		t.Errorf("ablation rows differ between workers=1 and workers=4:\n%+v\n%+v", r1, r4)
+	}
+}

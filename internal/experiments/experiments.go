@@ -11,8 +11,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"clustersim/internal/cluster"
 	"clustersim/internal/guest"
@@ -31,6 +29,12 @@ type Env struct {
 	Net      *netmodel.Model
 	Host     host.Params
 	MaxGuest simtime.Guest
+	// Workers bounds how many independent simulations of an experiment grid
+	// run concurrently (each simulation is single-threaded and
+	// deterministic). 0 means GOMAXPROCS; 1 forces fully sequential
+	// execution. Whatever the value, results are assembled in the same
+	// fixed order, so every experiment output is worker-count independent.
+	Workers int
 }
 
 // DefaultEnv returns the paper's evaluation environment: 2.6 GHz guests,
@@ -145,64 +149,24 @@ func runOne(env Env, w workloads.Workload, nodes int, spec Spec, traceQ, traceP 
 	return res, nil
 }
 
-// job and the pool below fan independent simulations out across host cores;
-// each simulation is itself single-threaded and deterministic.
-type job struct {
-	run  func() error
-	name string
-}
-
-func runAll(jobs []job) error {
-	workers := runtime.NumCPU()
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	ch := make(chan job)
-	errCh := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				if err := j.run(); err != nil {
-					errCh <- err
-				}
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		return err
-	}
-	return nil
-}
-
 // Grid runs every workload × node count × config (plus the ground truth for
 // each workload × node count) and returns one Cell per non-baseline run.
+// Cells come back in construction order — workload-major, then node count,
+// then spec — regardless of Env.Workers.
 func Grid(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]Cell, error) {
 	type base struct {
 		metric float64
 		host   simtime.Duration
 	}
-	bases := make(map[string]base)
-	var mu sync.Mutex
+	// Ground truths first (they dominate runtime; schedule them all). Each
+	// job writes its own slot, so no lock and no completion-order effects.
+	bases := make([]base, len(ws)*len(nodeCounts))
+	baseIdx := func(wi, ni int) int { return wi*len(nodeCounts) + ni }
 	var jobs []job
-
-	// Ground truths first (they dominate runtime; schedule them all).
-	for _, w := range ws {
-		for _, n := range nodeCounts {
-			w, n := w, n
-			key := fmt.Sprintf("%s/%d", w.Name, n)
-			jobs = append(jobs, job{name: key, run: func() error {
+	for wi, w := range ws {
+		for ni, n := range nodeCounts {
+			wi, ni, w, n := wi, ni, w, n
+			jobs = append(jobs, job{name: fmt.Sprintf("%s/%d", w.Name, n), run: func() error {
 				res, err := runOne(env, w, n, GroundTruth(), false, false)
 				if err != nil {
 					return err
@@ -211,32 +175,30 @@ func Grid(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]C
 				if !ok {
 					return fmt.Errorf("experiments: %s did not report %q", w.Name, w.Metric)
 				}
-				mu.Lock()
-				bases[key] = base{metric: m, host: res.HostTime}
-				mu.Unlock()
+				bases[baseIdx(wi, ni)] = base{metric: m, host: res.HostTime}
 				return nil
 			}})
 		}
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
 	}
 
-	var cells []Cell
-	jobs = nil
-	for _, w := range ws {
-		for _, n := range nodeCounts {
+	cells := make([]Cell, len(ws)*len(nodeCounts)*len(specs))
+	jobs = jobs[:0]
+	ci := 0
+	for wi, w := range ws {
+		for ni, n := range nodeCounts {
 			for _, spec := range specs {
-				w, n, spec := w, n, spec
-				key := fmt.Sprintf("%s/%d", w.Name, n)
-				jobs = append(jobs, job{name: key + spec.Label, run: func() error {
+				slot, w, n, spec := ci, w, n, spec
+				b := bases[baseIdx(wi, ni)]
+				jobs = append(jobs, job{name: fmt.Sprintf("%s/%d %s", w.Name, n, spec.Label), run: func() error {
 					res, err := runOne(env, w, n, spec, false, false)
 					if err != nil {
 						return err
 					}
 					m, _ := res.Metric(w.Metric)
-					b := bases[key]
-					c := Cell{
+					cells[slot] = Cell{
 						Workload:   w.Name,
 						Nodes:      n,
 						Config:     spec.Label,
@@ -248,15 +210,13 @@ func Grid(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]C
 						HostTime:   res.HostTime,
 						Stats:      res.Stats,
 					}
-					mu.Lock()
-					cells = append(cells, c)
-					mu.Unlock()
 					return nil
 				}})
+				ci++
 			}
 		}
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
 	}
 	return cells, nil

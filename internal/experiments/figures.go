@@ -211,7 +211,7 @@ func Fig9Case(env Env, w workloads.Workload, nodes int, dyn Spec, fixed []Spec, 
 			return nil
 		}})
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
 	}
 	for i, r := range results {

@@ -52,7 +52,7 @@ func ScalingCurve(env Env, w workloads.Workload, nodeCounts []int, spec Spec) ([
 			return nil
 		}})
 	}
-	if err := runAll(jobs); err != nil {
+	if err := runAll(env.Workers, jobs); err != nil {
 		return nil, err
 	}
 	return rows, nil

@@ -286,16 +286,16 @@ func (n *Node) Step() Step {
 		case opRecv:
 			now := n.clock.load()
 			n.rxMu.Lock()
-			if e := n.rx.Peek(); e != nil && simtime.Guest(e.Time) <= now {
+			if it, ok := n.rx.Peek(); ok && simtime.Guest(it.Time) <= now {
 				n.rx.Pop()
 				n.rxMu.Unlock()
-				n.recvArr = &Arrival{Frame: e.Payload, Time: simtime.Guest(e.Time)}
+				n.recvArr = &Arrival{Frame: it.Payload, Time: simtime.Guest(it.Time)}
 				n.overhead = n.cfg.RecvOverhead
 				continue
 			}
 			next := simtime.GuestInfinity
-			if e := n.rx.Peek(); e != nil {
-				next = simtime.Guest(e.Time)
+			if it, ok := n.rx.Peek(); ok {
+				next = simtime.Guest(it.Time)
 			}
 			n.rxMu.Unlock()
 			if req.deadline <= now {
