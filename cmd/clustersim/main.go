@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,6 +42,9 @@ var (
 	spinFlag     = flag.Float64("spin", 0.02, "real ns of CPU burned per guest busy ns (parallel mode)")
 	workersFlag  = flag.Int("workers", 0, "cap on host cores used, 0 = all (sets GOMAXPROCS; mainly for taming -parallel runs)")
 	traceFlag    = flag.String("tracefile", "", "run a JSON communication trace (workloads.TraceFile schema) instead of -workload; -nodes must match its rank count")
+	intraFlag    = flag.Int("intra-workers", 0, "intra-quantum engine workers: ground-truth quanta (Q ≤ min network latency) step their nodes on this many goroutines; 0 = classic sequential engine; results are identical for any value")
+	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
 	traceOutFlag    = flag.String("trace-out", "", "stream a Chrome trace-event JSON file here (open in chrome://tracing or ui.perfetto.dev)")
 	metricsAddrFlag = flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address (e.g. localhost:6060) and print a text snapshot at exit")
@@ -109,10 +113,42 @@ func parsePolicy() (func() quantum.Policy, error) {
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if err := withProfiles(*cpuProfFlag, *memProfFlag, run); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles brackets f with the optional pprof captures: CPU samples over
+// f's whole run, and a post-GC heap snapshot at exit.
+func withProfiles(cpu, mem string, f func() error) error {
+	if cpu != "" {
+		pf, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := f()
+	if mem != "" {
+		mf, merr := os.Create(mem)
+		if merr != nil {
+			if err == nil {
+				err = merr
+			}
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(mf); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	return err
 }
 
 // observability assembles the observer stack requested by the -trace-out,
@@ -220,6 +256,7 @@ func run() (err error) {
 		TraceQuanta:  *chartFlag,
 		TracePackets: *packetsFlag,
 		Observer:     observer,
+		Workers:      *intraFlag,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {

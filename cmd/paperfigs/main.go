@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -33,19 +35,64 @@ var (
 	widthFlag   = flag.Int("width", 100, "chart width in columns")
 	csvFlag     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	workersFlag = flag.Int("workers", 0, "concurrent simulations per experiment grid (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+	intraFlag   = flag.Int("intra-workers", 0, "intra-quantum engine workers: ground-truth quanta (Q ≤ min network latency) step their nodes on this many goroutines; 0 = classic sequential engine; results are identical for any value")
+	cacheFlag   = flag.Bool("baseline-cache", true, "memoize ground-truth (Q=1µs) runs across figures and tables so each distinct baseline is simulated once")
+	cpuProfFlag = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfFlag = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if err := withProfiles(*cpuProfFlag, *memProfFlag, run); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
 }
 
+// withProfiles brackets f with the optional pprof captures: CPU samples over
+// f's whole run, and a post-GC heap snapshot at exit.
+func withProfiles(cpu, mem string, f func() error) error {
+	if cpu != "" {
+		pf, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	err := f()
+	if mem != "" {
+		mf, merr := os.Create(mem)
+		if merr != nil {
+			if err == nil {
+				err = merr
+			}
+			return err
+		}
+		defer mf.Close()
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(mf); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	return err
+}
+
 func run() error {
 	env := experiments.DefaultEnv()
 	env.Workers = *workersFlag
+	env.IntraWorkers = *intraFlag
+	if *cacheFlag {
+		env.Baselines = experiments.NewBaselineCache()
+		defer func() {
+			st := env.Baselines.Stats()
+			fmt.Fprintf(os.Stderr, "paperfigs: baseline cache: %d baselines simulated, %d reused, %d trace upgrades\n",
+				st.Misses, st.Hits, st.Upgrades)
+		}()
+	}
 	which := strings.ToLower(*figFlag)
 	all := which == "all"
 

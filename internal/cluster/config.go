@@ -57,6 +57,25 @@ type Config struct {
 	// packet deliveries, node busy/idle segments) while the run executes.
 	// Nil disables all hooks at zero cost. See internal/obs.
 	Observer obs.Observer
+	// Workers enables the intra-quantum parallel fast path (DESIGN.md §7):
+	// whenever the current quantum Q is at most the minimum network latency,
+	// no frame sent inside the quantum can arrive inside it, so nodes are
+	// provably independent between barriers and are stepped concurrently on
+	// a worker pool of this size, with frames routed at the barrier in
+	// canonical (node, send-sequence) order.
+	//
+	// 0 (or negative) keeps the classic sequential event-queue engine.
+	// Any value >= 1 selects the fast path; 1 walks nodes inline (no
+	// goroutines) and >= 2 fans out. Result, Stats, and quantum records are
+	// bit-identical for every Workers value; the packet/observer *stream
+	// order* is identical across all Workers >= 1 values but differs from
+	// Workers == 0, whose streams interleave in host-event order (the
+	// per-record contents and all aggregates still match exactly).
+	Workers int
+	// onQuantumMode, when non-nil, is called at the start of each quantum
+	// with whether the parallel-safe fast path ran it. Package-internal
+	// test hook.
+	onQuantumMode func(fast bool)
 }
 
 // Validate reports configuration errors.

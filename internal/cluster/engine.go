@@ -12,6 +12,7 @@ import (
 	"clustersim/internal/quantum"
 	"clustersim/internal/rng"
 	"clustersim/internal/simtime"
+	"clustersim/internal/workerpool"
 )
 
 // ErrGuestLimit is returned when a run exceeds Config.MaxGuest without all
@@ -106,6 +107,47 @@ type engine struct {
 	res       Result
 	sumQ      float64
 	firstErr  error
+
+	// Intra-quantum fast path (DESIGN.md §7). minSafeLat > 0 means the
+	// configuration admits it: any quantum Q <= minSafeLat is provably free
+	// of intra-quantum arrivals, so nodes are walked independently (pool
+	// fans them out when Workers >= 2) and frames route at the barrier.
+	minSafeLat simtime.Duration
+	pool       *workerpool.Pool
+	walks      []nodeWalk
+	// walkFn is the per-node walk closure, built once so the per-quantum
+	// pool dispatch stays allocation-free (it reads e.qStartH, which run()
+	// sets to the quantum's barrier-release host time).
+	walkFn func(int)
+}
+
+// sendRec buffers one frame sent during a fast-path walk, with the host and
+// guest instants the classic engine would have seen at the send.
+type sendRec struct {
+	f     *pkt.Frame
+	tSend simtime.Guest
+	h     simtime.Host
+}
+
+// phaseRec buffers one NodePhase observer hook emitted during a walk.
+type phaseRec struct {
+	phase  obs.Phase
+	g0, g1 simtime.Guest
+	h0, h1 simtime.Host
+}
+
+// nodeWalk collects everything a fast-path node walk must publish at the
+// barrier: sends to route, observer hooks to replay, and the node's
+// contributions to global counters. Node-local state (finishHost, doneHost,
+// phase, ...) is written straight to the nodeState, which the walking worker
+// owns for the duration of the quantum. Buffers are reused across quanta.
+type nodeWalk struct {
+	sends  []sendRec
+	phases []phaseRec
+	busy   simtime.Duration
+	idle   simtime.Duration
+	done   bool
+	err    error
 }
 
 // Run executes the configuration and returns its result.
@@ -129,6 +171,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		e.nodes[i] = &nodeState{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, prog)}
 	}
+	e.initFast()
 	e.res.PolicyName = e.policy.Name()
 	if err := e.run(); err != nil {
 		return nil, err
@@ -144,6 +187,49 @@ func (e *engine) shutdown() {
 		if ns != nil {
 			ns.n.Shutdown()
 		}
+	}
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// initFast decides whether the configuration admits the intra-quantum
+// parallel fast path and, if so, precomputes its safety bound and pool.
+//
+// The bound is the minimum send→arrival latency over all (src, dst) pairs
+// for the cheapest possible frame (Size 0; serialization models are
+// monotonic in wire size, so this lower-bounds every real frame). Switch
+// output-port contention (Net.Output) is excluded: its port-free state must
+// be updated in the exact order the controller observes frames, which only
+// the sequential event queue reproduces.
+func (e *engine) initFast() {
+	if e.cfg.Workers < 1 || e.cfg.Net.Output != nil {
+		return
+	}
+	probe := &pkt.Frame{}
+	minLat := simtime.Duration(-1)
+	for s := 0; s < e.cfg.Nodes; s++ {
+		for d := 0; d < e.cfg.Nodes; d++ {
+			if d == s {
+				continue
+			}
+			lat := e.cfg.Net.NIC.Serialization(probe) + e.cfg.Net.PostTxLatency(probe, s, d)
+			if minLat < 0 || lat < minLat {
+				minLat = lat
+			}
+		}
+	}
+	if minLat <= 0 {
+		return
+	}
+	e.minSafeLat = minLat
+	e.walks = make([]nodeWalk, e.cfg.Nodes)
+	e.walkFn = func(i int) { e.walkNode(e.nodes[i], &e.walks[i], e.qStartH) }
+	if w := e.cfg.Workers; w >= 2 {
+		if w > e.cfg.Nodes {
+			w = e.cfg.Nodes
+		}
+		e.pool = workerpool.New(w)
 	}
 }
 
@@ -172,25 +258,38 @@ func (e *engine) run() error {
 			e.obs.QuantumStart(qi, start, Q, hostNow)
 		}
 
-		for _, ns := range e.nodes {
-			ns.n.BeginQuantum(e.limit)
-			ns.phase = phRunning
-			ns.hostNow = hostNow
-			ns.inSeg = false
-			ns.wakeEv = eventq.Handle{}
-			ns.finishHost = hostNow
-			if ns.n.Done() {
-				// A finished workload's simulator idles through the
-				// quantum (OS housekeeping only).
-				e.idleTo(ns, e.limit, hostNow)
-				continue
-			}
-			e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: ns.n.ID()})
+		// With Q at or below the minimum network latency, nothing sent in
+		// this quantum can arrive inside it (the paper's ground-truth
+		// argument), so the nodes are independent until the barrier and the
+		// event queue is unnecessary: walk each node to the limit — in
+		// parallel when Workers >= 2 — and route all frames at the barrier.
+		fast := e.minSafeLat > 0 && Q <= e.minSafeLat
+		if e.cfg.onQuantumMode != nil {
+			e.cfg.onQuantumMode(fast)
 		}
+		if fast {
+			e.runQuantumFast(hostNow)
+		} else {
+			for _, ns := range e.nodes {
+				ns.n.BeginQuantum(e.limit)
+				ns.phase = phRunning
+				ns.hostNow = hostNow
+				ns.inSeg = false
+				ns.wakeEv = eventq.Handle{}
+				ns.finishHost = hostNow
+				if ns.n.Done() {
+					// A finished workload's simulator idles through the
+					// quantum (OS housekeeping only).
+					e.idleTo(ns, e.limit, hostNow)
+					continue
+				}
+				e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: ns.n.ID()})
+			}
 
-		for e.q.Len() > 0 {
-			ev := e.q.Pop()
-			e.dispatch(simtime.Host(ev.Time), ev.Payload)
+			for e.q.Len() > 0 {
+				ev := e.q.Pop()
+				e.dispatch(simtime.Host(ev.Time), ev.Payload)
+			}
 		}
 
 		// Barrier: wait for the slowest node and any late frames, pay the
@@ -317,7 +416,7 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 			return
 
 		case guest.StepSend:
-			e.sendFrame(ns, h, st.To, st.Frame)
+			e.sendFrame(ns, h, st.To, st.Frame, false)
 			// Sending costs no additional host time beyond the guest
 			// overhead already charged; keep stepping.
 
@@ -383,8 +482,12 @@ func (e *engine) idleTo(ns *nodeState, target simtime.Guest, h simtime.Host) {
 
 // sendFrame models the source NIC (transmit queueing + serialization),
 // computes the exact simulated arrival time, and ships the frame to the
-// controller in host time.
-func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f *pkt.Frame) {
+// controller in host time. In the classic engine (immediate == false) the
+// frame becomes a queued event dispatched at its controller-arrival host
+// time; the fast path (immediate == true) routes it on the spot — every
+// destination is already at the barrier, so dispatch order no longer
+// matters and the queue round-trip is pure overhead.
+func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f *pkt.Frame, immediate bool) {
 	src := ns.n.ID()
 	depart := simtime.MaxGuest(tSend, ns.txFree)
 	ser := e.cfg.Net.NIC.Serialization(f)
@@ -398,10 +501,15 @@ func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f
 			if dst == src {
 				continue
 			}
-			e.q.PushPri(int64(arrHost), priFrame, event{
+			ev := event{
 				kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
 				tD: e.arrivalTime(f, src, dst, depart),
-			})
+			}
+			if immediate {
+				e.routeFrame(arrHost, ev)
+			} else {
+				e.q.PushPri(int64(arrHost), priFrame, ev)
+			}
 		}
 		return
 	}
@@ -413,10 +521,15 @@ func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f
 		e.res.Stats.Packets++
 		return
 	}
-	e.q.PushPri(int64(arrHost), priFrame, event{
+	ev := event{
 		kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
 		tD: e.arrivalTime(f, src, dst, depart),
-	})
+	}
+	if immediate {
+		e.routeFrame(arrHost, ev)
+	} else {
+		e.q.PushPri(int64(arrHost), priFrame, ev)
+	}
 }
 
 // arrivalTime computes the exact simulated arrival of a frame that left its
@@ -549,5 +662,138 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 		ns.segEndH = ns.segStartH.Add(cost)
 		ns.hostNow = ns.segEndH
 		ns.wakeEv = e.q.PushPri(int64(ns.segEndH), priWake, event{kind: evWake, node: ns.n.ID(), gTarget: arr})
+	}
+}
+
+// runQuantumFast executes one provably-safe quantum (Q <= minSafeLat): every
+// node is walked to the barrier independently — concurrently when a pool
+// exists — then the buffered per-node effects are folded into the global
+// state in node order, and all frames are routed in (node, send-sequence)
+// order. That canonical order is what makes the run bit-identical for every
+// Workers >= 1 value: workers only decide *who* walks a node, never the
+// order anything is published.
+func (e *engine) runQuantumFast(hostNow simtime.Host) {
+	if e.pool != nil {
+		e.pool.Run(len(e.nodes), e.walkFn)
+	} else {
+		for i := range e.nodes {
+			e.walkNode(e.nodes[i], &e.walks[i], hostNow)
+		}
+	}
+	for i, ns := range e.nodes {
+		wk := &e.walks[i]
+		e.res.Stats.HostBusy += wk.busy
+		e.res.Stats.HostIdle += wk.idle
+		if wk.done {
+			if wk.err != nil && e.firstErr == nil {
+				e.firstErr = fmt.Errorf("cluster: rank %d: %w", ns.n.ID(), wk.err)
+			}
+			e.doneCount++
+		}
+		if e.obs != nil {
+			for _, ph := range wk.phases {
+				e.obs.NodePhase(i, ph.phase, ph.g0, ph.g1, ph.h0, ph.h1)
+			}
+		}
+	}
+	// Barrier routing. Every destination is phAtLimit and, by the safety
+	// bound, every arrival time tD is at or past the limit, so routeFrame
+	// classifies each delivery as exact — the same outcome the classic
+	// engine reaches for these frames, just without the event queue.
+	for i, ns := range e.nodes {
+		for _, s := range e.walks[i].sends {
+			e.sendFrame(ns, s.h, s.tSend, s.f, true)
+		}
+	}
+}
+
+// walkNode steps one node from the quantum start to the barrier without the
+// event queue, mirroring stepNode/idleTo/the wake dispatch of the classic
+// engine exactly. It touches only state the walking worker owns: the node,
+// its nodeState, and its nodeWalk buffers (host.Model lookups are pure).
+// Globally visible effects are buffered in wk for the single-threaded
+// barrier fold.
+func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
+	wk.sends = wk.sends[:0]
+	wk.phases = wk.phases[:0]
+	wk.busy, wk.idle = 0, 0
+	wk.done, wk.err = false, nil
+
+	n := ns.n
+	n.BeginQuantum(e.limit)
+	ns.inSeg = false
+	ns.wakeEv = eventq.Handle{}
+	h := hostNow
+
+	finish := func() {
+		ns.phase = phAtLimit
+		ns.finishHost = h
+		ns.hostNow = h
+	}
+	// idle mirrors idleTo plus the evWake dispatch: charge the idle cost,
+	// record the phase, advance the cursor, and wake the node at target.
+	// Fast-path idle segments are never truncated or re-aimed — no delivery
+	// can land before the limit — so the extent is final at creation.
+	idle := func(target simtime.Guest) {
+		from := n.Clock()
+		if target < from {
+			panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", n.ID(), from, target))
+		}
+		cost := e.hm.HostCost(n.ID(), from, target, host.Idle)
+		wk.idle += cost
+		end := h.Add(cost)
+		wk.phases = append(wk.phases, phaseRec{obs.PhaseIdle, from, target, h, end})
+		h = end
+		ns.doneIdling = n.Done()
+		n.WakeAt(target)
+	}
+
+	if n.Done() {
+		// A finished workload's simulator idles through the quantum.
+		idle(e.limit)
+		finish()
+		return
+	}
+	for {
+		st := n.Step()
+		switch st.Kind {
+		case guest.StepBusy:
+			cost := e.hm.HostCost(n.ID(), st.From, st.To, host.Busy)
+			wk.busy += cost
+			end := h.Add(cost)
+			wk.phases = append(wk.phases, phaseRec{obs.PhaseBusy, st.From, st.To, h, end})
+			h = end
+
+		case guest.StepSend:
+			wk.sends = append(wk.sends, sendRec{f: st.Frame, tSend: st.To, h: h})
+
+		case guest.StepBlocked:
+			target := simtime.MinGuest(st.NextArrival, st.Deadline)
+			target = simtime.MinGuest(target, e.limit)
+			if target <= st.To {
+				// Blocked exactly at the quantum boundary.
+				finish()
+				return
+			}
+			idle(target)
+			// Loop to Step() again: arrivals already in the receive queue
+			// (delivered at earlier barriers) become consumable at target.
+
+		case guest.StepLimit:
+			finish()
+			return
+
+		case guest.StepDone:
+			wk.done = true
+			wk.err = st.Err
+			ns.doneHost = h
+			g := n.Clock()
+			wk.phases = append(wk.phases, phaseRec{obs.PhaseDone, g, g, h, h})
+			// The simulator keeps idling to the barrier.
+			idle(e.limit)
+			ns.doneIdling = true
+			finish()
+			return
+		}
 	}
 }

@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+// BenchmarkGroundTruthQuanta measures ground-truth (Q = 1µs) throughput in
+// quanta per second. Workers=0 is the classic event-queue engine; Workers=1
+// is the fast path walked inline (its single-core win: safe quanta skip the
+// event queue entirely); higher counts add true parallelism on multi-core
+// hosts.
+func BenchmarkGroundTruthQuanta(b *testing.B) {
+	w := workloads.Phases(3, 150*simtime.Microsecond, 32<<10)
+	for _, workers := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var quanta int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := testConfig(4, w, fixed(simtime.Microsecond))
+				cfg.Workers = workers
+				res, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				quanta += int64(res.Stats.Quanta)
+			}
+			b.ReportMetric(float64(quanta)/b.Elapsed().Seconds(), "quanta/s")
+		})
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"clustersim/internal/obs"
+	"clustersim/internal/quantum"
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+// recorder captures the full observer stream for equality checks.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) RunStart(i obs.RunInfo)  { r.events = append(r.events, fmt.Sprintf("start %+v", i)) }
+func (r *recorder) RunEnd(s obs.RunSummary) { r.events = append(r.events, fmt.Sprintf("end %+v", s)) }
+func (r *recorder) QuantumStart(i int, start simtime.Guest, q simtime.Duration, h simtime.Host) {
+	r.events = append(r.events, fmt.Sprintf("q%d %v %v %v", i, start, q, h))
+}
+func (r *recorder) QuantumEnd(rec obs.QuantumRecord) {
+	r.events = append(r.events, fmt.Sprintf("qe %+v", rec))
+}
+func (r *recorder) Packet(rec obs.PacketRecord) {
+	r.events = append(r.events, fmt.Sprintf("pkt %+v", rec))
+}
+func (r *recorder) NodePhase(node int, ph obs.Phase, g0, g1 simtime.Guest, h0, h1 simtime.Host) {
+	r.events = append(r.events, fmt.Sprintf("ph n%d %v %v %v %v %v", node, ph, g0, g1, h0, h1))
+}
+
+// fastCases spans the behaviors the fast path must preserve: lockstep
+// traffic with equal-arrival ties (PingPong at 2 and 4 nodes), bursty
+// compute/communicate phases, seeded irregular traffic, silence, loss
+// injection, and an adaptive policy that moves in and out of the safe
+// window mid-run.
+type fastCase struct {
+	name  string
+	nodes int
+	w     workloads.Workload
+	pol   func() quantum.Policy
+	loss  float64
+}
+
+func fastCases() []fastCase {
+	return []fastCase{
+		{"pingpong-2", 2, workloads.PingPong(30, 1000), fixed(simtime.Microsecond), 0},
+		{"pingpong-4", 4, workloads.PingPong(20, 4000), fixed(simtime.Microsecond), 0},
+		{"phases-4", 4, workloads.Phases(3, 150*simtime.Microsecond, 32<<10), fixed(simtime.Microsecond), 0},
+		{"phases-adaptive-5", 5, workloads.Phases(3, 150*simtime.Microsecond, 16<<10),
+			adaptive(simtime.Microsecond, simtime.Millisecond, 1.03, 0.02), 0},
+		{"uniform-3", 3, workloads.Uniform(60, 2000, 30*simtime.Microsecond, 11), fixed(simtime.Microsecond), 0},
+		{"uniform-lossy-4", 4, workloads.Uniform(60, 1500, 20*simtime.Microsecond, 23), fixed(simtime.Microsecond), 0.3},
+		{"silent-4", 4, workloads.Silent(300 * simtime.Microsecond), fixed(simtime.Microsecond), 0},
+	}
+}
+
+func runFast(t *testing.T, c fastCase, workers int) (*Result, *recorder) {
+	t.Helper()
+	rec := &recorder{}
+	cfg := testConfig(c.nodes, c.w, c.pol)
+	cfg.Workers = workers
+	cfg.TraceQuanta = true
+	cfg.TracePackets = true
+	cfg.LossRate = c.loss
+	cfg.LossSeed = 42
+	cfg.Observer = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", c.name, workers, err)
+	}
+	return res, rec
+}
+
+// The parallel fast path must be invisible in every output: for any worker
+// count >= 1 the Result, trace slices, and the byte-for-byte observer
+// stream are identical — workers only decide who walks a node, never what
+// is published or in which order. Run with -race, this is also the data-race
+// proof for the concurrent node walks.
+func TestFastPathWorkerInvariance(t *testing.T) {
+	for _, c := range fastCases() {
+		t.Run(c.name, func(t *testing.T) {
+			res1, rec1 := runFast(t, c, 1)
+			for _, workers := range []int{2, 4, 9} {
+				resN, recN := runFast(t, c, workers)
+				if !reflect.DeepEqual(res1, resN) {
+					t.Errorf("Result differs between workers=1 and workers=%d:\n%+v\n%+v", workers, res1, resN)
+				}
+				if !reflect.DeepEqual(rec1.events, recN.events) {
+					t.Errorf("observer stream differs between workers=1 and workers=%d", workers)
+					for i := range rec1.events {
+						if i < len(recN.events) && rec1.events[i] != recN.events[i] {
+							t.Errorf("first divergence at event %d:\n  %s\n  %s", i, rec1.events[i], recN.events[i])
+							break
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func sortPackets(ps []PacketRecord) []PacketRecord {
+	out := append([]PacketRecord(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.SendGuest != b.SendGuest:
+			return a.SendGuest < b.SendGuest
+		case a.Src != b.Src:
+			return a.Src < b.Src
+		case a.Dst != b.Dst:
+			return a.Dst < b.Dst
+		case a.Ideal != b.Ideal:
+			return a.Ideal < b.Ideal
+		case a.Arrival != b.Arrival:
+			return a.Arrival < b.Arrival
+		default:
+			return a.Size < b.Size
+		}
+	})
+	return out
+}
+
+// Against the classic sequential DES (Workers == 0), the fast path must
+// reproduce every number: results, metrics, aggregate stats, and the
+// per-quantum records. The packet trace is compared as a multiset — the
+// classic engine interleaves deliveries in host-event order while the fast
+// path routes at the barrier in canonical (node, seq) order, but the
+// recorded deliveries themselves are identical.
+func TestFastPathMatchesClassicSemantics(t *testing.T) {
+	for _, c := range fastCases() {
+		t.Run(c.name, func(t *testing.T) {
+			seq, _ := runFast(t, c, 0)
+			par, _ := runFast(t, c, 2)
+
+			if seq.GuestTime != par.GuestTime || seq.HostTime != par.HostTime {
+				t.Errorf("times differ: classic (%v,%v) fast (%v,%v)",
+					seq.GuestTime, seq.HostTime, par.GuestTime, par.HostTime)
+			}
+			if !reflect.DeepEqual(seq.NodeFinish, par.NodeFinish) {
+				t.Errorf("node finish times differ:\n%v\n%v", seq.NodeFinish, par.NodeFinish)
+			}
+			if !reflect.DeepEqual(seq.Metrics, par.Metrics) {
+				t.Errorf("metrics differ:\n%v\n%v", seq.Metrics, par.Metrics)
+			}
+			if seq.Stats != par.Stats {
+				t.Errorf("stats differ:\nclassic %+v\nfast    %+v", seq.Stats, par.Stats)
+			}
+			if !reflect.DeepEqual(seq.Quanta, par.Quanta) {
+				t.Error("quantum records differ")
+				for i := range seq.Quanta {
+					if i < len(par.Quanta) && seq.Quanta[i] != par.Quanta[i] {
+						t.Errorf("first divergence at quantum %d:\n%+v\n%+v", i, seq.Quanta[i], par.Quanta[i])
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(sortPackets(seq.Packets), sortPackets(par.Packets)) {
+				t.Errorf("packet traces differ as multisets (%d vs %d records)",
+					len(seq.Packets), len(par.Packets))
+			}
+		})
+	}
+}
+
+// The fast path must actually engage when it should and stand down when it
+// must: every ground-truth quantum (Q = 1µs <= T) is safe, a quantum beyond
+// the minimum latency never is, and an adaptive policy crosses the boundary
+// both ways mid-run.
+func TestFastPathEngages(t *testing.T) {
+	count := func(pol func() quantum.Policy, workers int) (fast, slow int) {
+		w := workloads.Phases(3, 150*simtime.Microsecond, 16<<10)
+		cfg := testConfig(4, w, pol)
+		cfg.Workers = workers
+		cfg.onQuantumMode = func(isFast bool) {
+			if isFast {
+				fast++
+			} else {
+				slow++
+			}
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	if fast, slow := count(fixed(simtime.Microsecond), 2); fast == 0 || slow != 0 {
+		t.Errorf("ground truth: want all quanta fast, got fast=%d slow=%d", fast, slow)
+	}
+	if fast, slow := count(fixed(simtime.Millisecond), 2); fast != 0 || slow == 0 {
+		t.Errorf("Q=1ms: want all quanta slow, got fast=%d slow=%d", fast, slow)
+	}
+	if fast, slow := count(adaptive(simtime.Microsecond, simtime.Millisecond, 1.03, 0.02), 2); fast == 0 || slow == 0 {
+		t.Errorf("adaptive: want a mix of fast and slow quanta, got fast=%d slow=%d", fast, slow)
+	}
+	// Workers == 0 keeps the classic engine even at ground truth.
+	if fast, slow := count(fixed(simtime.Microsecond), 0); fast != 0 || slow == 0 {
+		t.Errorf("workers=0: want no fast quanta, got fast=%d slow=%d", fast, slow)
+	}
+}

@@ -22,7 +22,7 @@ type AblationRow struct {
 // configurations are those that grow the quantum in very small increments
 // (such as 2% to 5%) but decrease it very quickly".
 func AblationIncDec(env Env, w workloads.Workload, nodes int, incs, decs []float64) ([]AblationRow, error) {
-	base, err := runOne(env, w, nodes, GroundTruth(), false, false)
+	base, err := runGroundTruth(env, w, nodes, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -87,10 +87,9 @@ type HostAblationRow struct {
 // full-system simulation; this sweep quantifies how much of the oracle's
 // speedup the blind adaptive algorithm recovers.
 func AblationOracle(env Env, w workloads.Workload, nodes int, min, max simtime.Duration) ([]AblationRow, error) {
-	base, err := runOne(env, w, nodes, Spec{
-		Label:  "trace",
-		Policy: func() quantum.Policy { return quantum.Fixed{Q: 1 * simtime.Microsecond} },
-	}, false, true)
+	// The traced baseline is the ground truth itself (Q = 1µs), so it comes
+	// from the shared cache with packet tracing requested.
+	base, err := runGroundTruth(env, w, nodes, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +140,7 @@ func AblationHost(env Env, w workloads.Workload, nodes int, barriers []simtime.D
 				e := env
 				e.Host.BarrierCost = bc
 				e.Host.JitterSigma = jit
-				base, err := runOne(e, w, nodes, GroundTruth(), false, false)
+				base, err := runGroundTruth(e, w, nodes, false, false)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A shared baseline cache must change how often ground truths are computed
+// — exactly once per distinct (workload, nodes, env) — and nothing else:
+// every runner's output is identical with and without it.
+func TestBaselineCacheSharing(t *testing.T) {
+	env := DefaultEnv()
+	env.Workers = 4
+	ws := NASSuite(0.02)[:2] // nas.ep, nas.is
+	nc := []int{2, 4}
+	specs := StandardSpecs()[:2]
+
+	plain, err := Grid(env, ws, nc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.Baselines = NewBaselineCache()
+	cached, err := Grid(env, ws, nc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cached) {
+		t.Error("cells differ between cached and uncached grids")
+	}
+	st := env.Baselines.Stats()
+	if want := len(ws) * len(nc); st.Misses != want || st.Entries != want {
+		t.Errorf("first grid: want %d misses/entries, got %+v", want, st)
+	}
+
+	// A second grid over the same matrix must be all hits, no new runs.
+	cached2, err := Grid(env, ws, nc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, cached2) {
+		t.Error("cells differ between first and second cached grid")
+	}
+	st2 := env.Baselines.Stats()
+	if st2.Misses != st.Misses {
+		t.Errorf("second grid recomputed baselines: %+v -> %+v", st, st2)
+	}
+	if st2.Hits != st.Hits+len(ws)*len(nc) {
+		t.Errorf("second grid: want %d more hits, got %+v -> %+v", len(ws)*len(nc), st, st2)
+	}
+
+	// A different runner on a cell the grid already measured also hits.
+	abl, err := AblationIncDec(env, ws[1], 2, []float64{1.03}, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := env
+	env2.Baselines = nil
+	ablPlain, err := AblationIncDec(env2, ws[1], 2, []float64{1.03}, []float64{0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(abl, ablPlain) {
+		t.Errorf("ablation rows differ with cache:\n%+v\n%+v", abl, ablPlain)
+	}
+	st3 := env.Baselines.Stats()
+	if st3.Misses != st2.Misses || st3.Hits != st2.Hits+1 {
+		t.Errorf("ablation base not served from cache: %+v -> %+v", st2, st3)
+	}
+
+	// A caller needing traces the cached run lacks upgrades it once; the
+	// wider entry then serves both traced and untraced callers.
+	if _, err := runGroundTruth(env, ws[1], 2, false, true); err != nil {
+		t.Fatal(err)
+	}
+	st4 := env.Baselines.Stats()
+	if st4.Upgrades != 1 || st4.Misses != st3.Misses {
+		t.Errorf("want exactly one trace upgrade, got %+v -> %+v", st3, st4)
+	}
+	if _, err := runGroundTruth(env, ws[1], 2, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runGroundTruth(env, ws[1], 2, false, false); err != nil {
+		t.Fatal(err)
+	}
+	st5 := env.Baselines.Stats()
+	if st5.Upgrades != 1 || st5.Hits != st4.Hits+2 {
+		t.Errorf("upgraded entry should serve both callers from cache: %+v -> %+v", st4, st5)
+	}
+}
+
+// The intra-quantum fast path must be invisible through the experiment
+// layer too: a grid run with IntraWorkers set matches the classic engine
+// cell for cell.
+func TestGridIntraWorkerInvariance(t *testing.T) {
+	env := DefaultEnv()
+	env.Workers = 2
+	ws := NASSuite(0.02)[1:2] // nas.is: traffic-heavy
+	nc := []int{2, 4}
+	specs := StandardSpecs()[3:4] // one adaptive spec
+
+	classic, err := Grid(env, ws, nc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.IntraWorkers = 2
+	fast, err := Grid(env, ws, nc, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(classic, fast) {
+		t.Errorf("cells differ between IntraWorkers=0 and 2:\n%+v\n%+v", classic, fast)
+	}
+}
+
+// CellIndex must agree with the linear Find on hits and misses, and point
+// into the indexed slice (not at copies).
+func TestCellIndexFind(t *testing.T) {
+	var cells []Cell
+	for _, w := range []string{"nas.ep", "nas.is", "namd"} {
+		for _, n := range []int{2, 4, 8} {
+			for _, cfg := range []string{"10", "100", "1k"} {
+				cells = append(cells, Cell{Workload: w, Nodes: n, Config: cfg, Metric: float64(len(cells))})
+			}
+		}
+	}
+	idx := IndexCells(cells)
+	for i := range cells {
+		c := &cells[i]
+		got := idx.Find(c.Workload, c.Nodes, c.Config)
+		if got != c {
+			t.Fatalf("Find(%q,%d,%q) = %p, want &cells[%d]", c.Workload, c.Nodes, c.Config, got, i)
+		}
+		if lin := Find(cells, c.Workload, c.Nodes, c.Config); lin != c {
+			t.Fatalf("linear Find(%q,%d,%q) = %p, want &cells[%d]", c.Workload, c.Nodes, c.Config, lin, i)
+		}
+	}
+	if got := idx.Find("nas.cg", 2, "10"); got != nil {
+		t.Errorf("Find on absent workload = %+v, want nil", got)
+	}
+	if got := idx.Find("nas.ep", 16, "10"); got != nil {
+		t.Errorf("Find on absent node count = %+v, want nil", got)
+	}
+}

@@ -35,6 +35,17 @@ type Env struct {
 	// execution. Whatever the value, results are assembled in the same
 	// fixed order, so every experiment output is worker-count independent.
 	Workers int
+	// IntraWorkers enables the engine's intra-quantum parallel fast path
+	// inside each simulation (cluster.Config.Workers): ground-truth quanta
+	// (Q <= minimum network latency) step their nodes concurrently on this
+	// many workers. 0 keeps every simulation on the classic sequential
+	// engine. Results are bit-identical either way.
+	IntraWorkers int
+	// Baselines, when non-nil, memoizes ground-truth (Q = 1µs) runs across
+	// experiment runners, so regenerating every figure pays for each
+	// distinct (workload, nodes, env) baseline exactly once. Nil recomputes
+	// baselines per runner, as before.
+	Baselines *BaselineCache
 }
 
 // DefaultEnv returns the paper's evaluation environment: 2.6 GHz guests,
@@ -141,6 +152,7 @@ func runOne(env Env, w workloads.Workload, nodes int, spec Spec, traceQ, traceP 
 		MaxGuest:     env.MaxGuest,
 		TraceQuanta:  traceQ,
 		TracePackets: traceP,
+		Workers:      env.IntraWorkers,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {
@@ -167,7 +179,7 @@ func Grid(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]C
 		for ni, n := range nodeCounts {
 			wi, ni, w, n := wi, ni, w, n
 			jobs = append(jobs, job{name: fmt.Sprintf("%s/%d", w.Name, n), run: func() error {
-				res, err := runOne(env, w, n, GroundTruth(), false, false)
+				res, err := runGroundTruth(env, w, n, false, false)
 				if err != nil {
 					return err
 				}
@@ -222,7 +234,46 @@ func Grid(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]C
 	return cells, nil
 }
 
+// CellKey addresses one cell of an evaluation grid.
+type CellKey struct {
+	Workload string
+	Nodes    int
+	Config   string
+}
+
+// CellIndex is a constant-time lookup over a grid's cells, for the figure
+// formatters that repeatedly pick individual cells out of a large grid.
+type CellIndex map[CellKey]*Cell
+
+// IndexCells builds a CellIndex over cells. The index points into the
+// slice, so it stays valid as long as the slice is not reallocated.
+func IndexCells(cells []Cell) CellIndex {
+	idx := make(CellIndex, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		idx[CellKey{c.Workload, c.Nodes, c.Config}] = c
+	}
+	return idx
+}
+
 // Find returns the cell for (workload, nodes, config), or nil.
+func (idx CellIndex) Find(workload string, nodes int, config string) *Cell {
+	return idx[CellKey{workload, nodes, config}]
+}
+
+// GridIndexed runs Grid and returns its cells together with a CellIndex
+// over them.
+func GridIndexed(env Env, ws []workloads.Workload, nodeCounts []int, specs []Spec) ([]Cell, CellIndex, error) {
+	cells, err := Grid(env, ws, nodeCounts, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cells, IndexCells(cells), nil
+}
+
+// Find returns the cell for (workload, nodes, config), or nil. It scans
+// linearly; callers doing repeated lookups should build a CellIndex once
+// instead.
 func Find(cells []Cell, workload string, nodes int, config string) *Cell {
 	for i := range cells {
 		c := &cells[i]

@@ -40,28 +40,45 @@ func Fig6(env Env, scale float64, nodeCounts []int) ([]AggRow, []Cell, error) {
 }
 
 func aggregateNAS(cells []Cell, nodeCounts []int, specs []Spec) []AggRow {
+	// One pass over the cells into (nodes, config) buckets, then emit in
+	// the fixed nodeCounts × specs order. Cells arrive workload-major, so
+	// each bucket accumulates in the same cell order the per-bucket scans
+	// used to — the float sums are bit-identical to the old O(buckets ×
+	// cells) aggregation.
+	type bucket struct {
+		mops, baseMops    []float64
+		hostCfg, hostBase float64
+	}
+	type bkey struct {
+		nodes  int
+		config string
+	}
+	buckets := make(map[bkey]*bucket, len(nodeCounts)*len(specs))
+	for i := range cells {
+		c := &cells[i]
+		k := bkey{c.Nodes, c.Config}
+		b := buckets[k]
+		if b == nil {
+			b = &bucket{}
+			buckets[k] = b
+		}
+		b.mops = append(b.mops, c.Metric)
+		b.baseMops = append(b.baseMops, c.BaseMetric)
+		b.hostCfg += float64(c.HostTime)
+		b.hostBase += c.Speedup * float64(c.HostTime)
+	}
 	var rows []AggRow
 	for _, n := range nodeCounts {
 		for _, spec := range specs {
-			var mops, baseMops []float64
-			var hostCfg, hostBase float64
-			for _, c := range cells {
-				if c.Nodes != n || c.Config != spec.Label {
-					continue
-				}
-				mops = append(mops, c.Metric)
-				baseMops = append(baseMops, c.BaseMetric)
-				hostCfg += float64(c.HostTime)
-				hostBase += c.Speedup * float64(c.HostTime)
-			}
-			if len(mops) == 0 {
+			b := buckets[bkey{n, spec.Label}]
+			if b == nil || len(b.mops) == 0 {
 				continue
 			}
 			rows = append(rows, AggRow{
 				Config:  spec.Label,
 				Nodes:   n,
-				AccErr:  metrics.RelError(metrics.HarmonicMean(mops), metrics.HarmonicMean(baseMops)),
-				Speedup: hostBase / hostCfg,
+				AccErr:  metrics.RelError(metrics.HarmonicMean(b.mops), metrics.HarmonicMean(b.baseMops)),
+				Speedup: b.hostBase / b.hostCfg,
 			})
 		}
 	}
@@ -167,7 +184,7 @@ func Fig9Case(env Env, w workloads.Workload, nodes int, dyn Spec, fixed []Spec, 
 		SpeedupCharts: map[string]string{},
 	}
 
-	baseRes, err := runOne(env, w, nodes, GroundTruth(), true, true)
+	baseRes, err := runGroundTruth(env, w, nodes, true, true)
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"clustersim/internal/workerpool"
 )
 
 // job is one independent deterministic simulation of an experiment grid.
@@ -14,9 +14,10 @@ type job struct {
 	name string
 }
 
-// runAll executes jobs on a bounded worker pool. workers <= 0 uses
-// GOMAXPROCS — each simulation is single-threaded, so one worker per host
-// core saturates the machine.
+// runAll executes jobs on a bounded worker pool (internal/workerpool, shared
+// with the engine's intra-quantum fast path). workers <= 0 uses GOMAXPROCS —
+// each simulation is single-threaded unless Env.IntraWorkers splits it
+// further, so one worker per host core saturates the machine.
 //
 // Error reporting is deterministic regardless of completion order: the
 // error of the lowest-indexed failing job is returned (later jobs still run
@@ -44,22 +45,11 @@ func runAll(workers int, jobs []job) error {
 		return first
 	}
 	errs := make([]error, len(jobs))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				errs[i] = jobs[i].run()
-			}
-		}()
-	}
-	wg.Wait()
+	pool := workerpool.New(workers)
+	defer pool.Close()
+	pool.Run(len(jobs), func(i int) {
+		errs[i] = jobs[i].run()
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -31,7 +31,7 @@ func ScalingCurve(env Env, w workloads.Workload, nodeCounts []int, spec Spec) ([
 	for i, n := range nodeCounts {
 		i, n := i, n
 		jobs = append(jobs, job{name: w.Name, run: func() error {
-			base, err := runOne(env, w, n, GroundTruth(), false, false)
+			base, err := runGroundTruth(env, w, n, false, false)
 			if err != nil {
 				return err
 			}

@@ -211,9 +211,16 @@ func (n *Node) BeginQuantum(limit simtime.Guest) {
 // the node's already-simulated past (a straggler delivered mid-segment); the
 // frame then becomes visible at the next Recv, exactly as a late interrupt
 // would in a real full-system simulator.
+//
+// Equal-arrival frames are consumed in Frame.ID order — an intrinsic,
+// canonical tie-break (IDs encode (source, per-source sequence)) — rather
+// than in delivery order. This keeps the receive order independent of
+// *when* the controller routed the frames, which is what lets the engine's
+// barrier-routed parallel fast path and the classic event-queue path feed
+// identical frame sequences to the workload.
 func (n *Node) Deliver(f *pkt.Frame, arr simtime.Guest) {
 	n.rxMu.Lock()
-	n.rx.Push(int64(arr), f)
+	n.rx.PushPri(int64(arr), int(f.ID), f)
 	n.rxMu.Unlock()
 }
 
@@ -233,6 +240,15 @@ func (n *Node) WakeAt(g simtime.Guest) {
 // it. The engine must call BeginQuantum before the first Step of each
 // quantum, account host time for every StepBusy interval, and call Step
 // again afterwards.
+//
+// Stepping is self-contained: Step, BeginQuantum, and WakeAt touch only
+// this node's state (the private clock, limit, receive queue, and the
+// handshake with this node's workload goroutine), never shared controller
+// state. Different nodes may therefore be stepped by different goroutines
+// concurrently. Calls on a single node must still be serialized, but may
+// migrate between goroutines across quanta as long as a happens-before
+// edge (e.g. the engine's barrier) separates the old stepper from the new
+// one. Deliver and Clock remain safe to call from any goroutine.
 func (n *Node) Step() Step {
 	if n.done {
 		return Step{Kind: StepDone, From: n.clock.load(), To: n.clock.load(), Err: n.doneErr}

@@ -1,0 +1,39 @@
+package msg_test
+
+import "testing"
+
+// TestMessageStreamAllocs pins the allocation behaviour of the fragment
+// send path. The bounds sit between what the slab-based sendData measures
+// (681 / 746 allocs per run on go1.24) and what the old make-per-fragment
+// path cost (777 / 810, with ~1.1 MB per run of header buffers that each
+// reserved full-MTU capacity) — so a regression back to per-fragment
+// allocations fails this test while leaving headroom for runtime noise.
+func TestMessageStreamAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark is not short")
+	}
+	cases := []struct {
+		name      string
+		payload   bool
+		maxAllocs int64
+		maxBytes  int64
+	}{
+		// Size-only messages (what the paper workloads send): the old path
+		// allocated header buffers with payload-sized capacity.
+		{"size-only", false, 730, 600_000},
+		// Payload-carrying messages: bytes are dominated by the payload
+		// itself, so only the allocation count separates the two paths.
+		{"payload", true, 780, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res := testing.Benchmark(func(b *testing.B) { benchStream(b, c.payload) })
+			if got := res.AllocsPerOp(); got > c.maxAllocs {
+				t.Errorf("message stream: %d allocs/op, want <= %d", got, c.maxAllocs)
+			}
+			if got := res.AllocedBytesPerOp(); c.maxBytes > 0 && got > c.maxBytes {
+				t.Errorf("message stream: %d B/op, want <= %d", got, c.maxBytes)
+			}
+		})
+	}
+}

@@ -13,11 +13,13 @@ import (
 	"clustersim/internal/simtime"
 )
 
-// BenchmarkMessageStream measures end-to-end message-layer throughput
-// through the full simulator: 1 MiB of 32 KiB messages per run.
-func BenchmarkMessageStream(b *testing.B) {
-	const msgs, size = 32, 32 << 10
-	cfg := cluster.Config{
+const streamMsgs, streamSize = 32, 32 << 10
+
+// streamConfig builds the message-stream fixture shared by the throughput
+// benchmarks and the allocation-regression test: 1 MiB of 32 KiB messages
+// from rank 0 to rank 1, size-only or carrying real payload bytes.
+func streamConfig(payload bool) cluster.Config {
+	return cluster.Config{
 		Nodes: 2,
 		Guest: guest.DefaultConfig(),
 		Net:   netmodel.Paper(),
@@ -29,12 +31,23 @@ func BenchmarkMessageStream(b *testing.B) {
 			return func(p *guest.Proc) error {
 				ep := msg.New(p, pkt.DefaultMTU)
 				if rank == 0 {
-					for i := 0; i < msgs; i++ {
-						ep.Send(1, 1, size)
+					var buf []byte
+					if payload {
+						buf = make([]byte, streamSize)
+						for i := range buf {
+							buf[i] = byte(i)
+						}
+					}
+					for i := 0; i < streamMsgs; i++ {
+						if payload {
+							ep.SendPayload(1, 1, buf)
+						} else {
+							ep.Send(1, 1, streamSize)
+						}
 					}
 					return nil
 				}
-				for i := 0; i < msgs; i++ {
+				for i := 0; i < streamMsgs; i++ {
 					ep.Recv(0, 1)
 				}
 				return nil
@@ -42,11 +55,23 @@ func BenchmarkMessageStream(b *testing.B) {
 		},
 		MaxGuest: simtime.Guest(10 * simtime.Second),
 	}
+}
+
+func benchStream(b *testing.B, payload bool) {
+	cfg := streamConfig(payload)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(msgs * size)
+	b.SetBytes(streamMsgs * streamSize)
 }
+
+// BenchmarkMessageStream measures end-to-end message-layer throughput
+// through the full simulator: 1 MiB of 32 KiB messages per run.
+func BenchmarkMessageStream(b *testing.B) { benchStream(b, false) }
+
+// BenchmarkMessageStreamPayload is the same stream carrying actual payload
+// bytes, exercising the per-fragment wire-byte path end to end.
+func BenchmarkMessageStreamPayload(b *testing.B) { benchStream(b, true) }

@@ -204,15 +204,20 @@ func (e *Endpoint) SendPayload(dst, tag int, payload []byte) {
 	e.send(dst, tag, len(payload), payload)
 }
 
+// headerInto encodes a fragment/control header into dst[:headerBytes].
+func headerInto(dst []byte, kind byte, id uint64, tag, size, off, frag int, seq uint32) {
+	dst[0] = kind
+	binary.LittleEndian.PutUint64(dst[1:], id)
+	binary.LittleEndian.PutUint32(dst[9:], uint32(tag))
+	binary.LittleEndian.PutUint64(dst[13:], uint64(size))
+	binary.LittleEndian.PutUint64(dst[21:], uint64(off))
+	binary.LittleEndian.PutUint32(dst[29:], uint32(frag))
+	binary.LittleEndian.PutUint32(dst[33:], seq)
+}
+
 func header(kind byte, id uint64, tag, size, off, frag int, seq uint32) []byte {
-	hdr := make([]byte, headerBytes, headerBytes+frag)
-	hdr[0] = kind
-	binary.LittleEndian.PutUint64(hdr[1:], id)
-	binary.LittleEndian.PutUint32(hdr[9:], uint32(tag))
-	binary.LittleEndian.PutUint64(hdr[13:], uint64(size))
-	binary.LittleEndian.PutUint64(hdr[21:], uint64(off))
-	binary.LittleEndian.PutUint32(hdr[29:], uint32(frag))
-	binary.LittleEndian.PutUint32(hdr[33:], seq)
+	hdr := make([]byte, headerBytes)
+	headerInto(hdr, kind, id, tag, size, off, frag, seq)
 	return hdr
 }
 
@@ -268,18 +273,64 @@ func (e *Endpoint) sendRTS(dst int, id uint64, tag, size int) {
 	e.framesSent++
 }
 
-// sendData pushes all data fragments of a message.
+// maxSlab caps sendData's fragment slabs at the Go runtime's small-object
+// limit: one slab a few bytes over 32 KiB would fall onto the page-granular
+// large-object path and cost more than the allocations it replaces.
+const maxSlab = 32 << 10
+
+// sendData pushes all data fragments of a message. The wire bytes of the
+// fragments are carved out of shared slabs (exactly sized to the whole
+// fragments they hold, at most maxSlab each) instead of a make+append pair
+// per fragment; each fragment is sliced with a full-capacity bound so no
+// holder of a frame (receivers, the broadcast fan-out, traces) can grow one
+// fragment into its neighbour's bytes. Frames reference their slab until
+// the receiver drops them — exactly the lifetime the old per-fragment
+// allocations had, minus the garbage.
 func (e *Endpoint) sendData(dst int, id uint64, tag, size int, payload []byte, seq uint32) {
 	chunk := e.cfg.MTU - headerBytes
+	var slab []byte
+	o := 0
 	off := 0
 	for {
 		frag := size - off
 		if frag > chunk {
 			frag = chunk
 		}
-		data := header(kindData, id, tag, size, off, frag, seq)
+		n := headerBytes
 		if payload != nil {
-			data = append(data, payload[off:off+frag]...)
+			n += frag
+		}
+		if o+n > len(slab) {
+			// Size the next slab to the largest run of whole upcoming
+			// fragments that stays within maxSlab (a single oversized
+			// fragment still gets exactly what it needs).
+			slabLen, so := 0, off
+			for {
+				fr := size - so
+				if fr > chunk {
+					fr = chunk
+				}
+				fn := headerBytes
+				if payload != nil {
+					fn += fr
+				}
+				if slabLen > 0 && slabLen+fn > maxSlab {
+					break
+				}
+				slabLen += fn
+				so += fr
+				if so >= size {
+					break
+				}
+			}
+			slab = make([]byte, slabLen)
+			o = 0
+		}
+		data := slab[o : o+n : o+n]
+		o += n
+		headerInto(data, kindData, id, tag, size, off, frag, seq)
+		if payload != nil {
+			copy(data[headerBytes:], payload[off:off+frag])
 		}
 		e.p.Send(dst, pkt.ProtoMsg, headerBytes+frag, data)
 		e.framesSent++

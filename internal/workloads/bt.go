@@ -47,6 +47,7 @@ func DefaultBT() BTParams {
 func BT(p BTParams) Workload {
 	return Workload{
 		Name:           "nas.bt",
+		Key:            fmt.Sprintf("nas.bt|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {

@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"clustersim/internal/guest"
 	"clustersim/internal/mpi"
 	"clustersim/internal/simtime"
@@ -42,6 +44,7 @@ func DefaultFT() FTParams {
 func FT(p FTParams) Workload {
 	return Workload{
 		Name:           "nas.ft",
+		Key:            fmt.Sprintf("nas.ft|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {

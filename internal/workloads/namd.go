@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"fmt"
+
 	"clustersim/internal/guest"
 	"clustersim/internal/mpi"
 	"clustersim/internal/msg"
@@ -57,6 +59,7 @@ func DefaultNAMD() NAMDParams {
 func NAMD(p NAMDParams) Workload {
 	return Workload{
 		Name:           "namd",
+		Key:            fmt.Sprintf("namd|%+v", p),
 		Metric:         "walltime_s",
 		HigherIsBetter: false,
 		New: func(rank, size int) guest.Program {

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"fmt"
 	"math/bits"
 
 	"clustersim/internal/guest"
@@ -42,6 +43,7 @@ func DefaultEP() EPParams {
 func EP(p EPParams) Workload {
 	return Workload{
 		Name:           "nas.ep",
+		Key:            fmt.Sprintf("nas.ep|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {
@@ -107,6 +109,7 @@ func DefaultIS() ISParams {
 func IS(p ISParams) Workload {
 	return Workload{
 		Name:           "nas.is",
+		Key:            fmt.Sprintf("nas.is|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {
@@ -172,6 +175,7 @@ func DefaultCG() CGParams {
 func CG(p CGParams) Workload {
 	return Workload{
 		Name:           "nas.cg",
+		Key:            fmt.Sprintf("nas.cg|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {
@@ -247,6 +251,7 @@ func DefaultMG() MGParams {
 func MG(p MGParams) Workload {
 	return Workload{
 		Name:           "nas.mg",
+		Key:            fmt.Sprintf("nas.mg|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {
@@ -337,6 +342,7 @@ func DefaultLU() LUParams {
 func LU(p LUParams) Workload {
 	return Workload{
 		Name:           "nas.lu",
+		Key:            fmt.Sprintf("nas.lu|%+v", p),
 		Metric:         "mops",
 		HigherIsBetter: true,
 		New: func(rank, size int) guest.Program {

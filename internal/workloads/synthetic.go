@@ -16,6 +16,7 @@ import (
 func PingPong(rounds, size int) Workload {
 	return Workload{
 		Name:           "synthetic.pingpong",
+		Key:            fmt.Sprintf("synthetic.pingpong|%d|%d", rounds, size),
 		Metric:         "rtt_us",
 		HigherIsBetter: false,
 		New: func(rank, clusterSize int) guest.Program {
@@ -51,6 +52,7 @@ func PingPong(rounds, size int) Workload {
 func Silent(compute simtime.Duration) Workload {
 	return Workload{
 		Name:           "synthetic.silent",
+		Key:            fmt.Sprintf("synthetic.silent|%v", compute),
 		Metric:         "time_s",
 		HigherIsBetter: false,
 		New: func(rank, size int) guest.Program {
@@ -73,6 +75,7 @@ func Silent(compute simtime.Duration) Workload {
 func Phases(phases int, compute simtime.Duration, burstBytes int) Workload {
 	return Workload{
 		Name:           "synthetic.phases",
+		Key:            fmt.Sprintf("synthetic.phases|%d|%v|%d", phases, compute, burstBytes),
 		Metric:         "time_s",
 		HigherIsBetter: false,
 		New: func(rank, size int) guest.Program {
@@ -99,6 +102,7 @@ func Phases(phases int, compute simtime.Duration, burstBytes int) Workload {
 func Uniform(count, size int, meanGap simtime.Duration, seed uint64) Workload {
 	return Workload{
 		Name:           "synthetic.uniform",
+		Key:            fmt.Sprintf("synthetic.uniform|%d|%d|%v|%d", count, size, meanGap, seed),
 		Metric:         "time_s",
 		HigherIsBetter: false,
 		New: func(rank, clusterSize int) guest.Program {

@@ -3,6 +3,7 @@ package workloads
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 
 	"clustersim/internal/guest"
@@ -120,8 +121,13 @@ func (t *TraceFile) Workload() Workload {
 	if name == "" {
 		name = "trace"
 	}
+	// Fingerprint the full op stream (hashed — op lists can be large) so
+	// identical traces share memoized baselines.
+	fp := fnv.New64a()
+	fmt.Fprintf(fp, "%+v", *t)
 	return Workload{
 		Name:   name,
+		Key:    fmt.Sprintf("trace|%s|%d|%016x", name, t.Ranks, fp.Sum64()),
 		Metric: "time_s",
 		New: func(rank, size int) guest.Program {
 			return func(pr *guest.Proc) error {

@@ -27,6 +27,13 @@ type Factory func(rank, size int) guest.Program
 type Workload struct {
 	// Name is the benchmark's short name, e.g. "nas.is".
 	Name string
+	// Key is a complete fingerprint of the workload's behavior: the name
+	// plus every parameter that can change a run's outcome. Two Workloads
+	// with the same Key produce identical deterministic simulations, which
+	// is what lets the experiment layer memoize ground-truth baselines
+	// across figures (experiments.BaselineCache). Empty means "no
+	// fingerprint" and disables memoization for this workload.
+	Key string
 	// Metric is the metric key rank 0 reports ("mops" or "walltime_s").
 	Metric string
 	// HigherIsBetter tells the accuracy computation which direction the
