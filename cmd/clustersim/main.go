@@ -21,6 +21,7 @@ import (
 
 	"clustersim/internal/cluster"
 	"clustersim/internal/experiments"
+	"clustersim/internal/faults"
 	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
@@ -29,7 +30,7 @@ import (
 )
 
 var (
-	workloadFlag = flag.String("workload", "nas.ep", "workload: nas.ep, nas.is, nas.cg, nas.mg, nas.lu, nas.ft, namd, pingpong, phases, silent, uniform")
+	workloadFlag = flag.String("workload", "nas.ep", "workload: nas.ep, nas.is, nas.cg, nas.mg, nas.lu, nas.ft, namd, pingpong, phases, reliable-phases, silent, uniform")
 	nodesFlag    = flag.Int("nodes", 8, "number of simulated cluster nodes")
 	quantumFlag  = flag.String("quantum", "1us", "fixed synchronization quantum (e.g. 1us, 100us, 1ms)")
 	dynFlag      = flag.String("dyn", "", "adaptive quantum as min:max:inc:dec (e.g. 1us:1000us:1.03:0.02); overrides -quantum")
@@ -45,6 +46,9 @@ var (
 	intraFlag    = flag.Int("intra-workers", 0, "intra-quantum engine workers: ground-truth quanta (Q ≤ min network latency) step their nodes on this many goroutines; 0 = classic sequential engine; results are identical for any value")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+	faultsFlag    = flag.String("faults", "", "deterministic fault injection spec, e.g. \"loss=0.01,dup=0.001,jitter=5us,down=10ms-12ms,slow=3:2.5\" (see internal/faults.Parse)")
+	faultSeedFlag = flag.Uint64("fault-seed", 1, "seed keying every fault decision; same spec + seed replays bit-identically")
 
 	traceOutFlag    = flag.String("trace-out", "", "stream a Chrome trace-event JSON file here (open in chrome://tracing or ui.perfetto.dev)")
 	metricsAddrFlag = flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address (e.g. localhost:6060) and print a text snapshot at exit")
@@ -72,6 +76,10 @@ func pickWorkload(name string, scale float64) (workloads.Workload, error) {
 		return workloads.PingPong(200, 9000), nil
 	case "phases":
 		return workloads.Phases(8, simtime.Duration(float64(2*simtime.Millisecond)*scale), 64<<10), nil
+	case "reliable-phases":
+		// Runs the reliable transport (ack/retransmit): the workload to pair
+		// with -faults loss — plain workloads block forever on lost frames.
+		return workloads.ReliablePhases(8, simtime.Duration(float64(2*simtime.Millisecond)*scale), 64<<10), nil
 	case "silent":
 		return workloads.Silent(simtime.Duration(float64(20*simtime.Millisecond) * scale)), nil
 	case "uniform":
@@ -230,6 +238,10 @@ func run() (err error) {
 	}
 	env := experiments.DefaultEnv()
 	env.Host.Seed = *seedFlag
+	plan, err := faults.Parse(*faultsFlag, *faultSeedFlag)
+	if err != nil {
+		return err
+	}
 
 	observer, obsCleanup, err := observability(env.MaxGuest)
 	if err != nil {
@@ -242,7 +254,7 @@ func run() (err error) {
 	}()
 
 	if *parallelFlag {
-		return runParallel(w, policy, env, observer)
+		return runParallel(w, policy, env, observer, plan)
 	}
 
 	cfg := cluster.Config{
@@ -257,6 +269,7 @@ func run() (err error) {
 		TracePackets: *packetsFlag,
 		Observer:     observer,
 		Workers:      *intraFlag,
+		Faults:       plan,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {
@@ -275,7 +288,7 @@ func run() (err error) {
 	return nil
 }
 
-func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer) error {
+func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer, plan *faults.Plan) error {
 	res, err := cluster.RunParallel(cluster.ParallelConfig{
 		Nodes:            *nodesFlag,
 		Guest:            env.Guest,
@@ -285,6 +298,7 @@ func runParallel(w workloads.Workload, policy func() quantum.Policy, env experim
 		SpinPerGuestBusy: *spinFlag,
 		MaxGuest:         env.MaxGuest,
 		Observer:         observer,
+		Faults:           plan,
 	})
 	if err != nil {
 		return err
@@ -323,6 +337,9 @@ func printStats(st cluster.Stats) {
 	fmt.Printf("quanta       %d (min %v, mean %v, max %v; %d silent)\n",
 		st.Quanta, st.MinQ, st.MeanQ, st.MaxQ, st.SilentQuanta)
 	fmt.Printf("packets      %d routed, %d deliveries\n", st.Packets, st.Deliveries)
+	if st.Dropped > 0 || st.Duplicated > 0 {
+		fmt.Printf("faults       %d dropped, %d duplicated\n", st.Dropped, st.Duplicated)
+	}
 	fmt.Printf("stragglers   %d (%d snapped to the next quantum), total delay %v\n",
 		st.Stragglers, st.QuantumSnaps, st.StragglerDelay)
 	if st.HostBusy > 0 || st.HostBarrier > 0 {

@@ -66,6 +66,18 @@ func scaleOutCSV(so *experiments.ScaleOut) [][]string {
 	return rows
 }
 
+// faultCSV renders the loss-sweep study.
+func faultCSV(rows []experiments.FaultRow) [][]string {
+	out := [][]string{{"loss_pct", "config", "mean_q_us", "straggler_rate", "dropped", "duplicated", "retransmits", "timeouts"}}
+	for _, r := range rows {
+		out = append(out, []string{f64(r.LossPct), r.Config,
+			fmt.Sprintf("%.3f", r.MeanQ.Microseconds()), f64(r.StragglerRate),
+			strconv.Itoa(r.Dropped), strconv.Itoa(r.Duplicated),
+			strconv.Itoa(r.Retransmits), strconv.Itoa(r.Timeouts)})
+	}
+	return out
+}
+
 // ablationCSV renders a sensitivity sweep.
 func ablationCSV(rows []experiments.AblationRow) [][]string {
 	out := [][]string{{"config", "accuracy_error", "speedup", "mean_q_us"}}

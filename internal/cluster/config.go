@@ -14,6 +14,7 @@ package cluster
 import (
 	"fmt"
 
+	"clustersim/internal/faults"
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
 	"clustersim/internal/netmodel"
@@ -53,6 +54,13 @@ type Config struct {
 	LossRate float64
 	// LossSeed seeds the loss draws.
 	LossSeed uint64
+	// Faults, when non-nil, injects deterministic per-link loss,
+	// duplication, delay jitter, link-down windows, and per-node host
+	// slowdowns (see internal/faults). Every decision is a pure function of
+	// (Plan.Seed, Frame.ID, src, dst, send time), so faulty runs stay
+	// bit-identical across Workers counts and are replayable from this
+	// config. Nil injects nothing and costs one branch per frame.
+	Faults *faults.Plan
 	// Observer receives streaming lifecycle hooks (quantum boundaries,
 	// packet deliveries, node busy/idle segments) while the run executes.
 	// Nil disables all hooks at zero cost. See internal/obs.
@@ -97,6 +105,9 @@ func (c *Config) Validate() error {
 	if err := c.Net.Validate(c.Nodes); err != nil {
 		return err
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return c.Host.Validate()
 }
 
@@ -121,9 +132,15 @@ type Stats struct {
 	// StragglerDelay is the total guest time by which straggler deliveries
 	// were late versus their ideal arrival.
 	StragglerDelay simtime.Duration
-	// Dropped counts frames discarded by loss injection (zero on the
-	// paper's perfect switch).
+	// Dropped counts frames discarded by loss injection — Config.LossRate
+	// draws, fault-plan loss, and link-down windows (zero on the paper's
+	// perfect switch).
 	Dropped int
+	// Duplicated counts extra frame copies injected by a fault plan's
+	// duplication probability. Each copy is delivered and classified
+	// independently, so Deliveries = Packets - Dropped - unroutable
+	// + Duplicated.
+	Duplicated int
 	// HostBusy/HostIdle sum the host time the node simulators spent in
 	// detailed execution and in idle fast-path across all nodes;
 	// HostBarrier sums the per-quantum barrier costs. Together they show

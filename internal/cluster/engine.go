@@ -108,6 +108,11 @@ type engine struct {
 	sumQ      float64
 	firstErr  error
 
+	// slow holds the per-node host slowdown factor from the fault plan, or
+	// nil when every node runs at factor 1 — the nil check keeps the
+	// fault-free path byte-identical to an engine without the feature.
+	slow []float64
+
 	// Intra-quantum fast path (DESIGN.md §7). minSafeLat > 0 means the
 	// configuration admits it: any quantum Q <= minSafeLat is provably free
 	// of intra-quantum arrivals, so nodes are walked independently (pool
@@ -171,6 +176,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		e.nodes[i] = &nodeState{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, prog)}
 	}
+	if fp := cfg.Faults; fp != nil && fp.HasSlowdown() {
+		e.slow = make([]float64, cfg.Nodes)
+		for i := range e.slow {
+			e.slow[i] = fp.Slowdown(i)
+		}
+	}
 	e.initFast()
 	e.res.PolicyName = e.policy.Name()
 	if err := e.run(); err != nil {
@@ -196,29 +207,16 @@ func (e *engine) shutdown() {
 // initFast decides whether the configuration admits the intra-quantum
 // parallel fast path and, if so, precomputes its safety bound and pool.
 //
-// The bound is the minimum send→arrival latency over all (src, dst) pairs
-// for the cheapest possible frame (Size 0; serialization models are
-// monotonic in wire size, so this lower-bounds every real frame). Switch
-// output-port contention (Net.Output) is excluded: its port-free state must
-// be updated in the exact order the controller observes frames, which only
-// the sequential event queue reproduces.
+// The bound is Net.MinLatency — the paper's T, probed with the cheapest
+// possible frame (netmodel.MinProbe). Configurations with switch
+// output-port contention (Net.Output) are excluded before the probe: the
+// port-free state must be updated in the exact order the controller
+// observes frames, which only the sequential event queue reproduces.
 func (e *engine) initFast() {
 	if e.cfg.Workers < 1 || e.cfg.Net.Output != nil {
 		return
 	}
-	probe := &pkt.Frame{}
-	minLat := simtime.Duration(-1)
-	for s := 0; s < e.cfg.Nodes; s++ {
-		for d := 0; d < e.cfg.Nodes; d++ {
-			if d == s {
-				continue
-			}
-			lat := e.cfg.Net.NIC.Serialization(probe) + e.cfg.Net.PostTxLatency(probe, s, d)
-			if minLat < 0 || lat < minLat {
-				minLat = lat
-			}
-		}
-	}
+	minLat := e.cfg.Net.MinLatency(e.cfg.Nodes)
 	if minLat <= 0 {
 		return
 	}
@@ -398,7 +396,7 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 		st := ns.n.Step()
 		switch st.Kind {
 		case guest.StepBusy:
-			cost := e.hm.HostCost(ns.n.ID(), st.From, st.To, host.Busy)
+			cost := e.hostCost(ns.n.ID(), st.From, st.To, host.Busy)
 			e.res.Stats.HostBusy += cost
 			ns.inSeg = true
 			ns.segMode = host.Busy
@@ -466,7 +464,7 @@ func (e *engine) idleTo(ns *nodeState, target simtime.Guest, h simtime.Host) {
 	if target < from {
 		panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", ns.n.ID(), from, target))
 	}
-	cost := e.hm.HostCost(ns.n.ID(), from, target, host.Idle)
+	cost := e.hostCost(ns.n.ID(), from, target, host.Idle)
 	e.res.Stats.HostIdle += cost
 	ns.phase = phIdle
 	ns.inSeg = true
@@ -548,6 +546,16 @@ func (e *engine) arrivalTime(f *pkt.Frame, src, dst int, depart simtime.Guest) s
 	return e.portFree[dst].Add(e.cfg.Net.PostQueueLatency(f))
 }
 
+// hostCost is the host.Model cost scaled by the node's fault-plan slowdown
+// factor; with no slowdowns (slow == nil) it is the model cost verbatim.
+func (e *engine) hostCost(id int, from, to simtime.Guest, mode host.Mode) simtime.Duration {
+	c := e.hm.HostCost(id, from, to, mode)
+	if e.slow != nil {
+		c = c.Scale(e.slow[id])
+	}
+	return c
+}
+
 // guestPos returns node ns's guest position at host time h.
 func (e *engine) guestPos(ns *nodeState, h simtime.Host) simtime.Guest {
 	if !ns.inSeg {
@@ -559,11 +567,23 @@ func (e *engine) guestPos(ns *nodeState, h simtime.Host) simtime.Guest {
 	if h <= ns.segStartH {
 		return ns.segStartG
 	}
-	return e.hm.GuestAt(ns.n.ID(), ns.segStartG, h.Sub(ns.segStartH), ns.segMode, ns.segEndG)
+	elapsed := h.Sub(ns.segStartH)
+	if e.slow != nil {
+		// A slowed node burns factor-times the host time per unit of guest
+		// progress; interpolate with the unscaled elapsed time.
+		elapsed = elapsed.Scale(1 / e.slow[ns.n.ID()])
+	}
+	return e.hm.GuestAt(ns.n.ID(), ns.segStartG, elapsed, ns.segMode, ns.segEndG)
 }
 
-// routeFrame is the controller receiving one frame at host time h and
-// delivering it to the destination per the paper's three cases.
+// routeFrame is the controller receiving one frame at host time h: it counts
+// the frame toward the quantum's traffic (drops included, so Algorithm 1's
+// np==0 test still sees lost traffic), applies loss/duplication/jitter
+// faults, and delivers the surviving copies per the paper's three cases.
+// Both engines funnel through here — the classic event queue dispatches it
+// at the frame's controller-arrival host time, the fast path calls it at the
+// barrier — so fault outcomes, which are pure per-frame functions, cannot
+// differ between paths.
 func (e *engine) routeFrame(h simtime.Host, ev event) {
 	e.npQuantum++
 	e.res.Stats.Packets++
@@ -575,6 +595,52 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 		e.res.Stats.Dropped++
 		return
 	}
+	if fp := e.cfg.Faults; fp != nil {
+		d := fp.Decide(ev.frame.ID, ev.src, ev.dst, ev.tSend)
+		if d.Drop {
+			e.res.Stats.Dropped++
+			if e.cfg.TracePackets || e.obs != nil {
+				e.emitPacket(PacketRecord{
+					SendGuest: ev.tSend, Ideal: ev.tD,
+					Src: ev.src, Dst: ev.dst, Size: ev.frame.Size,
+					Dropped: true,
+				})
+			}
+			return
+		}
+		// Injected delay only ever increases the arrival time, so the fast
+		// path's safety bound (tD >= limit under Q <= T) is preserved.
+		base := ev.tD
+		if d.Delay > 0 {
+			ev.tD = base.Add(d.Delay)
+		}
+		if d.Dup {
+			e.res.Stats.Duplicated++
+			dup := ev
+			dup.tD = base.Add(d.DupDelay)
+			e.deliver(h, ev, false)
+			e.deliver(h, dup, true)
+			return
+		}
+	}
+	e.deliver(h, ev, false)
+}
+
+// emitPacket routes one packet record to the trace slice and the observer.
+func (e *engine) emitPacket(rec PacketRecord) {
+	if e.cfg.TracePackets {
+		e.res.Packets = append(e.res.Packets, rec)
+	}
+	if e.obs != nil {
+		e.obs.Packet(rec)
+	}
+}
+
+// deliver classifies one frame copy against the destination's progress and
+// hands it to the node — the tail of the paper's controller logic, shared by
+// the original and any fault-injected duplicate so each copy counts
+// independently in the straggler statistics.
+func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
 	e.res.Stats.Deliveries++
 
 	ns := e.nodes[ev.dst]
@@ -611,17 +677,11 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 		st.Exact++
 	}
 	if e.cfg.TracePackets || e.obs != nil {
-		rec := PacketRecord{
+		e.emitPacket(PacketRecord{
 			SendGuest: ev.tSend, Ideal: ev.tD, Arrival: arr,
 			Src: ev.src, Dst: ev.dst, Size: ev.frame.Size,
-			Straggler: straggler, Snapped: snapped,
-		}
-		if e.cfg.TracePackets {
-			e.res.Packets = append(e.res.Packets, rec)
-		}
-		if e.obs != nil {
-			e.obs.Packet(rec)
-		}
+			Straggler: straggler, Snapped: snapped, Duplicate: dupCopy,
+		})
 	}
 
 	ns.n.Deliver(ev.frame, arr)
@@ -656,7 +716,7 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 		if !e.q.Remove(ns.wakeEv) {
 			panic("cluster: idle node without a cancellable wake event")
 		}
-		cost := e.hm.HostCost(ns.n.ID(), ns.segStartG, arr, host.Idle)
+		cost := e.hostCost(ns.n.ID(), ns.segStartG, arr, host.Idle)
 		e.res.Stats.HostIdle -= ns.segEndH.Sub(ns.segStartH) - cost
 		ns.segEndG = arr
 		ns.segEndH = ns.segStartH.Add(cost)
@@ -739,7 +799,7 @@ func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
 		if target < from {
 			panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", n.ID(), from, target))
 		}
-		cost := e.hm.HostCost(n.ID(), from, target, host.Idle)
+		cost := e.hostCost(n.ID(), from, target, host.Idle)
 		wk.idle += cost
 		end := h.Add(cost)
 		wk.phases = append(wk.phases, phaseRec{obs.PhaseIdle, from, target, h, end})
@@ -758,7 +818,7 @@ func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
 		st := n.Step()
 		switch st.Kind {
 		case guest.StepBusy:
-			cost := e.hm.HostCost(n.ID(), st.From, st.To, host.Busy)
+			cost := e.hostCost(n.ID(), st.From, st.To, host.Busy)
 			wk.busy += cost
 			end := h.Add(cost)
 			wk.phases = append(wk.phases, phaseRec{obs.PhaseBusy, st.From, st.To, h, end})

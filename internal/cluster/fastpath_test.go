@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"clustersim/internal/faults"
 	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
@@ -38,23 +39,33 @@ func (r *recorder) NodePhase(node int, ph obs.Phase, g0, g1 simtime.Guest, h0, h
 // injection, and an adaptive policy that moves in and out of the safe
 // window mid-run.
 type fastCase struct {
-	name  string
-	nodes int
-	w     workloads.Workload
-	pol   func() quantum.Policy
-	loss  float64
+	name   string
+	nodes  int
+	w      workloads.Workload
+	pol    func() quantum.Policy
+	loss   float64
+	faults *faults.Plan
 }
 
 func fastCases() []fastCase {
 	return []fastCase{
-		{"pingpong-2", 2, workloads.PingPong(30, 1000), fixed(simtime.Microsecond), 0},
-		{"pingpong-4", 4, workloads.PingPong(20, 4000), fixed(simtime.Microsecond), 0},
-		{"phases-4", 4, workloads.Phases(3, 150*simtime.Microsecond, 32<<10), fixed(simtime.Microsecond), 0},
-		{"phases-adaptive-5", 5, workloads.Phases(3, 150*simtime.Microsecond, 16<<10),
-			adaptive(simtime.Microsecond, simtime.Millisecond, 1.03, 0.02), 0},
-		{"uniform-3", 3, workloads.Uniform(60, 2000, 30*simtime.Microsecond, 11), fixed(simtime.Microsecond), 0},
-		{"uniform-lossy-4", 4, workloads.Uniform(60, 1500, 20*simtime.Microsecond, 23), fixed(simtime.Microsecond), 0.3},
-		{"silent-4", 4, workloads.Silent(300 * simtime.Microsecond), fixed(simtime.Microsecond), 0},
+		{name: "pingpong-2", nodes: 2, w: workloads.PingPong(30, 1000), pol: fixed(simtime.Microsecond)},
+		{name: "pingpong-4", nodes: 4, w: workloads.PingPong(20, 4000), pol: fixed(simtime.Microsecond)},
+		{name: "phases-4", nodes: 4, w: workloads.Phases(3, 150*simtime.Microsecond, 32<<10), pol: fixed(simtime.Microsecond)},
+		{name: "phases-adaptive-5", nodes: 5, w: workloads.Phases(3, 150*simtime.Microsecond, 16<<10),
+			pol: adaptive(simtime.Microsecond, simtime.Millisecond, 1.03, 0.02)},
+		{name: "uniform-3", nodes: 3, w: workloads.Uniform(60, 2000, 30*simtime.Microsecond, 11), pol: fixed(simtime.Microsecond)},
+		{name: "uniform-lossy-4", nodes: 4, w: workloads.Uniform(60, 1500, 20*simtime.Microsecond, 23), pol: fixed(simtime.Microsecond), loss: 0.3},
+		{name: "silent-4", nodes: 4, w: workloads.Silent(300 * simtime.Microsecond), pol: fixed(simtime.Microsecond)},
+		// A fault plan exercising loss, duplication, and delay jitter through
+		// both engines: fault decisions are pure per-frame functions, so they
+		// must not break worker invariance or fast/classic agreement.
+		{name: "faulty-4", nodes: 4, w: workloads.Uniform(60, 1500, 20*simtime.Microsecond, 23), pol: fixed(simtime.Microsecond),
+			faults: &faults.Plan{Seed: 7, Default: faults.Link{Loss: 0.1, Dup: 0.15, Jitter: 3 * simtime.Microsecond}}},
+		// Per-node host slowdown shifts every host-time cost; results must
+		// stay identical across worker counts and engine paths.
+		{name: "slowdown-3", nodes: 3, w: workloads.PingPong(20, 1000), pol: fixed(simtime.Microsecond),
+			faults: &faults.Plan{Seed: 3, NodeSlowdown: map[int]float64{1: 2.5}}},
 	}
 }
 
@@ -67,6 +78,7 @@ func runFast(t *testing.T, c fastCase, workers int) (*Result, *recorder) {
 	cfg.TracePackets = true
 	cfg.LossRate = c.loss
 	cfg.LossSeed = 42
+	cfg.Faults = c.faults
 	cfg.Observer = rec
 	res, err := Run(cfg)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clustersim/internal/faults"
 	"clustersim/internal/guest"
 	"clustersim/internal/netmodel"
 	"clustersim/internal/obs"
@@ -43,6 +44,12 @@ type ParallelConfig struct {
 	// concurrent use (all bundled obs implementations are). Nil disables
 	// all hooks at zero cost.
 	Observer obs.Observer
+	// Faults injects per-link loss/duplication/jitter at the controller and
+	// scales per-node spin by the plan's slowdown factors. Frame-level
+	// decisions are the same pure functions the deterministic engine uses,
+	// but wall-clock scheduling still varies run to run. Nil injects
+	// nothing.
+	Faults *faults.Plan
 }
 
 // ParallelResult is the outcome of a real-time parallel run.
@@ -93,6 +100,10 @@ type pnode struct {
 	// path reads it without a controller-mutex round-trip. Only the owning
 	// goroutine touches it.
 	limit simtime.Guest
+	// spinPerBusy is real nanoseconds of CPU burned per guest busy
+	// nanosecond for this node: SpinPerGuestBusy times the fault plan's
+	// slowdown factor. Immutable after construction.
+	spinPerBusy float64
 }
 
 // prun is the shared state of one parallel run. The controller mutex guards
@@ -142,12 +153,23 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if cfg.Net == nil || cfg.Policy == nil || cfg.Program == nil {
 		return nil, fmt.Errorf("cluster: parallel config missing net/policy/program")
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	r := &prun{cfg: cfg, obs: cfg.Observer, barrier: make(chan struct{}, 1)}
 	r.portFree = make([]simtime.Guest, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
+		spinPer := cfg.SpinPerGuestBusy
+		if cfg.Faults != nil {
+			// A slowed node burns proportionally more real CPU per guest
+			// nanosecond — the wall-clock analogue of the deterministic
+			// engine's scaled host costs.
+			spinPer *= cfg.Faults.Slowdown(i)
+		}
 		r.nodes = append(r.nodes, &pnode{
-			n:    guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes)),
-			wake: make(chan struct{}, 1),
+			n:           guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes)),
+			wake:        make(chan struct{}, 1),
+			spinPerBusy: spinPer,
 		})
 	}
 	policy := cfg.Policy()
@@ -350,10 +372,10 @@ func (r *prun) runQuantum(pn *pnode, gen int) bool {
 		case guest.StepBusy:
 			if r.obs != nil {
 				h0 := r.hostNow()
-				spin(time.Duration(float64(st.To.Sub(st.From)) * r.cfg.SpinPerGuestBusy))
+				spin(time.Duration(float64(st.To.Sub(st.From)) * pn.spinPerBusy))
 				r.obs.NodePhase(pn.n.ID(), obs.PhaseBusy, st.From, st.To, h0, r.hostNow())
 			} else {
-				spin(time.Duration(float64(st.To.Sub(st.From)) * r.cfg.SpinPerGuestBusy))
+				spin(time.Duration(float64(st.To.Sub(st.From)) * pn.spinPerBusy))
 			}
 
 		case guest.StepSend:
@@ -442,51 +464,29 @@ func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
 		}
 		r.np++
 		r.stats.Packets++
-		r.stats.Deliveries++
-		var arr simtime.Guest
-		straggler, snapped := false, false
-		switch dn.state {
-		case pnAtLimit, pnDone, pnParked:
-			if tD < r.limit {
-				arr = r.limit
-				straggler, snapped = true, true
-			} else {
-				arr = tD
+		if fp := r.cfg.Faults; fp != nil {
+			d := fp.Decide(f.ID, pn.n.ID(), dst, tSend)
+			if d.Drop {
+				r.stats.Dropped++
+				if r.obs != nil {
+					r.obs.Packet(obs.PacketRecord{
+						SendGuest: tSend, Ideal: tD,
+						Src: pn.n.ID(), Dst: dst, Size: f.Size,
+						Dropped: true,
+					})
+				}
+				return
 			}
-		default: // running
-			g := dn.n.Clock()
-			if tD >= g {
-				arr = tD
-			} else {
-				arr = g
-				straggler = true
+			base := tD
+			tD = base.Add(d.Delay)
+			if d.Dup {
+				r.stats.Duplicated++
+				r.deliverCopy(pn.n.ID(), dn, f, tSend, tD, false)
+				r.deliverCopy(pn.n.ID(), dn, f, tSend, base.Add(d.DupDelay), true)
+				return
 			}
 		}
-		if straggler {
-			r.stats.Stragglers++
-			r.str++
-			r.stats.StragglerDelay += arr.Sub(tD)
-			if snapped {
-				r.stats.QuantumSnaps++
-			}
-		} else {
-			r.stats.Exact++
-		}
-		if r.obs != nil {
-			r.obs.Packet(obs.PacketRecord{
-				SendGuest: tSend, Ideal: tD, Arrival: arr,
-				Src: pn.n.ID(), Dst: dst, Size: f.Size,
-				Straggler: straggler, Snapped: snapped,
-			})
-		}
-		dn.n.Deliver(f, arr)
-		// A parked destination that can now make progress is re-woken —
-		// point-to-point, leaving every other node undisturbed.
-		if dn.state == pnParked && arr <= r.limit {
-			dn.state = pnRunning
-			r.atLimit--
-			wakeNode(dn)
-		}
+		r.deliverCopy(pn.n.ID(), dn, f, tSend, tD, false)
 	}
 
 	if f.Dst.IsBroadcast() {
@@ -504,6 +504,58 @@ func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
 		return
 	}
 	deliver(dst)
+}
+
+// deliverCopy classifies one frame copy against the destination's live state
+// and delivers it — shared by the normal path and fault-injected duplicates
+// so each copy counts independently in the straggler statistics. The caller
+// holds r.mu.
+func (r *prun) deliverCopy(src int, dn *pnode, f *pkt.Frame, tSend, tD simtime.Guest, dupCopy bool) {
+	r.stats.Deliveries++
+	var arr simtime.Guest
+	straggler, snapped := false, false
+	switch dn.state {
+	case pnAtLimit, pnDone, pnParked:
+		if tD < r.limit {
+			arr = r.limit
+			straggler, snapped = true, true
+		} else {
+			arr = tD
+		}
+	default: // running
+		g := dn.n.Clock()
+		if tD >= g {
+			arr = tD
+		} else {
+			arr = g
+			straggler = true
+		}
+	}
+	if straggler {
+		r.stats.Stragglers++
+		r.str++
+		r.stats.StragglerDelay += arr.Sub(tD)
+		if snapped {
+			r.stats.QuantumSnaps++
+		}
+	} else {
+		r.stats.Exact++
+	}
+	if r.obs != nil {
+		r.obs.Packet(obs.PacketRecord{
+			SendGuest: tSend, Ideal: tD, Arrival: arr,
+			Src: src, Dst: dn.n.ID(), Size: f.Size,
+			Straggler: straggler, Snapped: snapped, Duplicate: dupCopy,
+		})
+	}
+	dn.n.Deliver(f, arr)
+	// A parked destination that can now make progress is re-woken —
+	// point-to-point, leaving every other node undisturbed.
+	if dn.state == pnParked && arr <= r.limit {
+		dn.state = pnRunning
+		r.atLimit--
+		wakeNode(dn)
+	}
 }
 
 // spin burns real CPU for d, the real-time analogue of simulation slowdown.

@@ -140,7 +140,7 @@ func refLess(a, b refEvent) bool {
 func checkAgainstReference(t *testing.T, r *rand.Rand, ops int) {
 	t.Helper()
 	var q Queue[int64]
-	var ref []refEvent          // live events, unsorted
+	var ref []refEvent             // live events, unsorted
 	handles := map[uint64]Handle{} // seq -> handle for random removal
 	var seq uint64
 	popMin := func() refEvent {

@@ -26,6 +26,9 @@ type baselineKey struct {
 	hostP    host.Params
 	net      *netmodel.Model
 	maxGuest simtime.Guest
+	// faults is the canonical fingerprint of Env.Faults (empty for nil):
+	// a fault plan changes every outcome, so plans never share baselines.
+	faults string
 }
 
 // baselineEntry holds one memoized ground-truth run. The entry-level mutex
@@ -116,6 +119,7 @@ func (c *BaselineCache) get(env Env, w workloads.Workload, nodes int, traceQ, tr
 		hostP:    env.Host,
 		net:      env.Net,
 		maxGuest: env.MaxGuest,
+		faults:   env.Faults.Key(),
 	}
 	c.mu.Lock()
 	e := c.entries[key]

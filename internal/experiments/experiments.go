@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"clustersim/internal/cluster"
+	"clustersim/internal/faults"
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
 	"clustersim/internal/metrics"
@@ -46,6 +47,12 @@ type Env struct {
 	// distinct (workload, nodes, env) baseline exactly once. Nil recomputes
 	// baselines per runner, as before.
 	Baselines *BaselineCache
+	// Faults, when non-nil, applies deterministic fault injection (loss,
+	// duplication, jitter, down windows, node slowdown) to every run of the
+	// experiment — including the ground truth, which under faults is the
+	// Q = 1µs run of the *same* fault plan. Part of the baseline memoization
+	// key via its canonical fingerprint.
+	Faults *faults.Plan
 }
 
 // DefaultEnv returns the paper's evaluation environment: 2.6 GHz guests,
@@ -153,6 +160,7 @@ func runOne(env Env, w workloads.Workload, nodes int, spec Spec, traceQ, traceP 
 		TraceQuanta:  traceQ,
 		TracePackets: traceP,
 		Workers:      env.IntraWorkers,
+		Faults:       env.Faults,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {

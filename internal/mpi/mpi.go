@@ -17,6 +17,7 @@ import (
 	"clustersim/internal/guest"
 	"clustersim/internal/msg"
 	"clustersim/internal/pkt"
+	"clustersim/internal/simtime"
 )
 
 // Tag ranges: user point-to-point tags must stay below collTagBase.
@@ -44,6 +45,13 @@ func NewWithMTU(p *guest.Proc, mtu int) *Comm {
 	return &Comm{ep: msg.New(p, mtu), rank: p.Rank(), size: p.Size()}
 }
 
+// NewWithConfig creates the world communicator over an endpoint with
+// explicit transport configuration — the entry point for reliable mode.
+// All ranks of a cluster must use the same configuration.
+func NewWithConfig(p *guest.Proc, cfg msg.Config) *Comm {
+	return &Comm{ep: msg.NewWithConfig(p, cfg), rank: p.Rank(), size: p.Size()}
+}
+
 // Rank returns this process's rank.
 func (c *Comm) Rank() int { return c.rank }
 
@@ -55,6 +63,21 @@ func (c *Comm) Proc() *guest.Proc { return c.ep.Proc() }
 
 // Endpoint returns the underlying message endpoint.
 func (c *Comm) Endpoint() *msg.Endpoint { return c.ep }
+
+// Flush blocks until every reliable-mode message this rank sent has been
+// acknowledged or abandoned, and returns the first recorded delivery
+// failure (wrapping msg.ErrDeliveryFailed) or nil. A no-op returning nil
+// on unreliable communicators.
+func (c *Comm) Flush() error { return c.ep.Flush() }
+
+// Err returns the communicator's first recorded delivery failure, or nil.
+func (c *Comm) Err() error { return c.ep.Err() }
+
+// Drain pumps inbound traffic (acking reliable-mode peers) until the link
+// has been quiet for the given guest-time span. Reliable workloads should
+// Drain after their last receive so peers' final retransmissions find an
+// acker — the transport's TIME_WAIT.
+func (c *Comm) Drain(quiet simtime.Duration) { c.ep.Drain(quiet) }
 
 func (c *Comm) checkPeer(peer int) {
 	if peer < 0 || peer >= c.size {

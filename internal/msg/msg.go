@@ -29,6 +29,7 @@ package msg
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"clustersim/internal/guest"
@@ -48,6 +49,18 @@ const DefaultEagerMax = 64 << 10
 
 // DefaultRetransmitTimeout is the reliable-mode retransmission timer.
 const DefaultRetransmitTimeout = 200 * simtime.Microsecond
+
+// DefaultMaxRetries is the reliable-mode retransmission cap. 30 retries at
+// the capped 8x backoff spans tens of milliseconds of guest time and makes
+// a spurious failure astronomically unlikely at any loss rate worth
+// simulating (0.3^30 ≈ 2e-16), while still bounding the work a partitioned
+// link can absorb.
+const DefaultMaxRetries = 30
+
+// ErrDeliveryFailed marks a reliable-mode message abandoned after
+// exhausting its retransmission budget. Returned (wrapped) by Err and
+// Flush.
+var ErrDeliveryFailed = errors.New("msg: delivery failed")
 
 // frame kinds.
 const (
@@ -113,6 +126,12 @@ type Config struct {
 	// RetransmitTimeout is the guest-time retransmission timer (reliable
 	// mode); zero means DefaultRetransmitTimeout.
 	RetransmitTimeout simtime.Duration
+	// MaxRetries caps reliable-mode retransmissions per message. A message
+	// that exhausts the cap is abandoned: it leaves the in-flight set and
+	// the endpoint records a permanent delivery failure surfaced by Err and
+	// Flush. Zero means DefaultMaxRetries; negative retries forever (the
+	// pre-cap behaviour).
+	MaxRetries int
 }
 
 // DefaultConfig returns jumbo frames with the standard eager threshold and
@@ -157,6 +176,10 @@ type Endpoint struct {
 	rtsSent, ctsSent       int
 	acksSent, retransmits  int
 	duplicates             int
+	timeouts, failures     int
+
+	// err records the first delivery failure (permanent; see Err).
+	err error
 }
 
 // New creates an endpoint over p with the given MTU and the default eager
@@ -174,6 +197,9 @@ func NewWithConfig(p *guest.Proc, cfg Config) *Endpoint {
 	}
 	if cfg.RetransmitTimeout <= 0 {
 		cfg.RetransmitTimeout = DefaultRetransmitTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
 	}
 	return &Endpoint{
 		p:         p,
@@ -359,7 +385,8 @@ func (e *Endpoint) nextDeadline() simtime.Guest {
 	return d
 }
 
-// retransmitDue resends everything whose timer expired.
+// retransmitDue resends everything whose timer expired, abandoning messages
+// that have exhausted their retransmission budget.
 func (e *Endpoint) retransmitDue() {
 	now := e.p.Now()
 	live := e.unackedID[:0]
@@ -367,6 +394,19 @@ func (e *Endpoint) retransmitDue() {
 		om := e.unacked[id]
 		if om == nil {
 			continue // acked
+		}
+		if om.deadline <= now {
+			e.timeouts++
+			if e.cfg.MaxRetries > 0 && om.retries >= e.cfg.MaxRetries {
+				// Out of budget: the message will never be delivered.
+				e.failures++
+				if e.err == nil {
+					e.err = fmt.Errorf("msg: message %d to rank %d (tag %d, %d bytes) abandoned after %d retransmissions: %w",
+						om.id, om.dst, om.tag, om.size, om.retries, ErrDeliveryFailed)
+				}
+				delete(e.unacked, id)
+				continue
+			}
 		}
 		live = append(live, id)
 		if om.deadline > now {
@@ -572,16 +612,28 @@ func (e *Endpoint) TryRecv(src, tag int) (m *Message, ok bool) {
 	return e.RecvDeadline(src, tag, e.p.Now())
 }
 
-// Flush blocks until every reliable-mode message has been acknowledged,
-// driving retransmissions as needed. It is a no-op on unreliable endpoints.
-func (e *Endpoint) Flush() {
+// Flush blocks until every reliable-mode message has been acknowledged or
+// abandoned, driving retransmissions as needed, and returns the endpoint's
+// first recorded delivery failure (nil when everything was delivered). It
+// is a no-op on unreliable endpoints.
+func (e *Endpoint) Flush() error {
 	if !e.cfg.Reliable {
-		return
+		return nil
 	}
 	for e.Outstanding() > 0 {
-		e.pump(simtime.GuestInfinity)
+		// Bound each wait by the earliest retransmission deadline so the
+		// loop re-checks Outstanding after every timer fire — including the
+		// one that abandons the last in-flight message, after which no
+		// frame may ever arrive to end an unbounded wait.
+		e.pump(e.nextDeadline())
 	}
+	return e.err
 }
+
+// Err returns the endpoint's first recorded delivery failure — a reliable
+// message abandoned after MaxRetries retransmissions — wrapping
+// ErrDeliveryFailed, or nil. Failures are permanent.
+func (e *Endpoint) Err() error { return e.err }
 
 // Drain keeps the protocol engine responsive (re-acknowledging duplicates,
 // retransmitting) until the network has been quiet for the given guest
@@ -629,4 +681,22 @@ func (e *Endpoint) Stats() (framesSent, framesRecv, rtsSent, ctsSent int) {
 // retransmissions performed, and duplicate fragments suppressed.
 func (e *Endpoint) ReliabilityStats() (acksSent, retransmits, duplicates int) {
 	return e.acksSent, e.retransmits, e.duplicates
+}
+
+// TransportStats extends ReliabilityStats with the retry machinery's
+// counters: retransmission-timer expiries and permanently failed messages.
+func (e *Endpoint) TransportStats() (acksSent, retransmits, timeouts, duplicates, failures int) {
+	return e.acksSent, e.retransmits, e.timeouts, e.duplicates, e.failures
+}
+
+// ReportMetrics publishes the endpoint's transport counters as node metrics
+// (msg_retransmits, msg_timeouts, msg_acks, msg_duplicates, msg_failures)
+// via Proc.Report, so runs can aggregate per-rank reliable-transport
+// behaviour next to application metrics.
+func (e *Endpoint) ReportMetrics() {
+	e.p.Report("msg_retransmits", float64(e.retransmits))
+	e.p.Report("msg_timeouts", float64(e.timeouts))
+	e.p.Report("msg_acks", float64(e.acksSent))
+	e.p.Report("msg_duplicates", float64(e.duplicates))
+	e.p.Report("msg_failures", float64(e.failures))
 }

@@ -2,13 +2,16 @@ package msg_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"testing/quick"
 
 	"clustersim/internal/cluster"
+	"clustersim/internal/faults"
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
+	"clustersim/internal/mpi"
 	"clustersim/internal/msg"
 	"clustersim/internal/netmodel"
 	"clustersim/internal/pkt"
@@ -60,7 +63,9 @@ func TestReliableStreamSurvivesLoss(t *testing.T) {
 			for _, pl := range payloads {
 				ep.SendPayload(1, 5, pl)
 			}
-			ep.Flush()
+			if err := ep.Flush(); err != nil {
+				return fmt.Errorf("Flush after a recoverable loss run: %w", err)
+			}
 			return nil
 		},
 		func(p *guest.Proc) error {
@@ -176,6 +181,88 @@ func TestReliableNoLossNoRetransmits(t *testing.T) {
 			return nil
 		},
 	)
+}
+
+// runBlackout executes programs over a link that is down for the whole run,
+// via the fault-injection plan — no frame is ever delivered.
+func runBlackout(t *testing.T, q simtime.Duration, progs ...guest.Program) *cluster.Result {
+	t.Helper()
+	res, err := cluster.Run(cluster.Config{
+		Nodes:    len(progs),
+		Guest:    guest.DefaultConfig(),
+		Net:      netmodel.Paper(),
+		Host:     host.DefaultParams(),
+		Policy:   func() quantum.Policy { return quantum.Fixed{Q: q} },
+		Program:  func(rank, size int) guest.Program { return progs[rank] },
+		MaxGuest: simtime.Guest(60 * simtime.Second),
+		Faults: &faults.Plan{Default: faults.Link{
+			Down: []faults.Window{{Start: 0, End: simtime.GuestInfinity}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// A link that never delivers must not hang Flush: after MaxRetries expiries
+// the message is abandoned, Flush terminates, and the permanent failure
+// surfaces through Flush and Err wrapping ErrDeliveryFailed, with the
+// timeout/retransmit/failure counters recording exactly the capped attempts.
+func TestReliableDeliveryFailureSurfaced(t *testing.T) {
+	var flushErr, endpointErr error
+	var retransmits, timeouts, failures int
+	runBlackout(t, 50*simtime.Microsecond,
+		func(p *guest.Proc) error {
+			cfg := reliableCfg()
+			cfg.MaxRetries = 4
+			ep := msg.NewWithConfig(p, cfg)
+			ep.Send(1, 3, 2000)
+			flushErr = ep.Flush()
+			endpointErr = ep.Err()
+			_, retransmits, timeouts, _, failures = ep.TransportStats()
+			ep.ReportMetrics()
+			return nil
+		},
+		func(p *guest.Proc) error { return nil },
+	)
+	if !errors.Is(flushErr, msg.ErrDeliveryFailed) {
+		t.Fatalf("Flush = %v, want ErrDeliveryFailed", flushErr)
+	}
+	if !errors.Is(endpointErr, msg.ErrDeliveryFailed) {
+		t.Errorf("Err() = %v, want ErrDeliveryFailed", endpointErr)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1", failures)
+	}
+	if retransmits != 4 {
+		t.Errorf("retransmits = %d, want exactly MaxRetries (4)", retransmits)
+	}
+	if timeouts != 5 {
+		t.Errorf("timeouts = %d, want 5 (4 retransmissions + the abandoning expiry)", timeouts)
+	}
+}
+
+// The same failure must surface through the mpi communicator layer.
+func TestMPIFlushSurfacesDeliveryFailure(t *testing.T) {
+	var flushErr error
+	runBlackout(t, 50*simtime.Microsecond,
+		func(p *guest.Proc) error {
+			cfg := reliableCfg()
+			cfg.MaxRetries = 2
+			c := mpi.NewWithConfig(p, cfg)
+			c.Send(1, 0, 500)
+			flushErr = c.Flush()
+			if !errors.Is(c.Err(), msg.ErrDeliveryFailed) {
+				return fmt.Errorf("Comm.Err() = %v, want ErrDeliveryFailed", c.Err())
+			}
+			return nil
+		},
+		func(p *guest.Proc) error { return nil },
+	)
+	if !errors.Is(flushErr, msg.ErrDeliveryFailed) {
+		t.Fatalf("Comm.Flush = %v, want ErrDeliveryFailed", flushErr)
+	}
 }
 
 // Property: bidirectional reliable traffic under arbitrary loss rates and

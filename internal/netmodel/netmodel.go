@@ -110,25 +110,36 @@ func (m *Model) PostQueueLatency(f *pkt.Frame) simtime.Duration {
 	return l
 }
 
+// MinProbe returns the cheapest possible frame: Size 0. Serialization
+// models are monotonic in wire size, so a size-0 probe lower-bounds every
+// real frame. Both MinLatency and the engine's fast-path safety bound probe
+// with it, so the two T estimates cannot diverge.
+func MinProbe() *pkt.Frame { return &pkt.Frame{} }
+
 // MinLatency returns a lower bound on the latency of any frame between any
 // pair of distinct nodes among the given count. This is the paper's T: a
-// quantum Q <= T guarantees that no straggler can occur.
+// quantum Q <= T guarantees that no straggler can occur. With fewer than
+// two nodes no frame can cross the network and the bound is 0.
+//
+// The bound includes the uncontended Output port cost when an OutputQueue
+// is modelled; under contention real frames can only be slower, so the
+// value stays a true lower bound.
 func (m *Model) MinLatency(nodes int) simtime.Duration {
-	probe := &pkt.Frame{Size: 1}
-	min := simtime.Duration(1<<62 - 1)
+	if nodes < 2 {
+		return 0
+	}
+	probe := MinProbe()
+	min := simtime.Duration(-1)
 	for s := 0; s < nodes; s++ {
 		for d := 0; d < nodes; d++ {
 			if s == d {
 				continue
 			}
 			l := m.FrameLatency(probe, s, d)
-			if l < min {
+			if min < 0 || l < min {
 				min = l
 			}
 		}
-	}
-	if nodes < 2 {
-		return 0
 	}
 	return min
 }

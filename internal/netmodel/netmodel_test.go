@@ -126,3 +126,34 @@ func TestOutputQueueModel(t *testing.T) {
 		t.Error("pre/post queue decomposition inconsistent with PostTxLatency")
 	}
 }
+
+func TestMinLatencyFewNodes(t *testing.T) {
+	// Regression: nodes < 2 must short-circuit before the probe loop — a
+	// reordered early-return used to risk leaking the loop's sentinel.
+	for _, m := range []*Model{Paper(), {
+		NIC:    &SimpleNIC{BaseLatency: simtime.Microsecond, BytesPerSecond: 1e9},
+		Switch: &StoreAndForwardSwitch{BytesPerSecond: 1e9},
+	}} {
+		for _, nodes := range []int{0, 1} {
+			if got := m.MinLatency(nodes); got != 0 {
+				t.Errorf("MinLatency(%d) = %v, want 0", nodes, got)
+			}
+		}
+	}
+}
+
+func TestMinLatencyUsesMinProbe(t *testing.T) {
+	// Under a serialization model the bound must come from the cheapest
+	// possible frame (Size 0), so it lower-bounds even a 1-byte frame.
+	m := &Model{
+		NIC:    &SimpleNIC{BaseLatency: simtime.Microsecond, BytesPerSecond: 1e9},
+		Switch: &StoreAndForwardSwitch{BytesPerSecond: 1e9},
+	}
+	want := m.FrameLatency(MinProbe(), 0, 1)
+	if got := m.MinLatency(4); got != want {
+		t.Errorf("MinLatency = %v, want the size-0 probe latency %v", got, want)
+	}
+	if oneByte := m.FrameLatency(&pkt.Frame{Size: 1}, 0, 1); oneByte <= m.MinLatency(4) {
+		t.Errorf("1-byte frame latency %v not above the size-0 bound %v", oneByte, m.MinLatency(4))
+	}
+}

@@ -183,7 +183,10 @@ func (t *ChromeTracer) Packet(rec PacketRecord) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	name := "packet"
-	if rec.Straggler {
+	switch {
+	case rec.Dropped:
+		name = "drop"
+	case rec.Straggler:
 		name = "straggler"
 	}
 	args := map[string]any{
@@ -193,6 +196,9 @@ func (t *ChromeTracer) Packet(rec PacketRecord) {
 	if rec.Straggler {
 		args["late_us"] = durTS(rec.Arrival.Sub(rec.Ideal))
 		args["snapped"] = rec.Snapped
+	}
+	if rec.Duplicate {
+		args["duplicate"] = true
 	}
 	t.emit(traceEvent{Name: name, Cat: "net", Ph: "i", PID: tracePID,
 		TID: traceCtrl, TS: guestMicros(rec.Ideal), Scope: "t", Args: args})

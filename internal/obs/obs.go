@@ -83,11 +83,13 @@ type QuantumRecord struct {
 type PacketRecord struct {
 	SendGuest simtime.Guest // guest time the source handed it to the NIC
 	Ideal     simtime.Guest // exact simulated arrival time
-	Arrival   simtime.Guest // guest time actually delivered
+	Arrival   simtime.Guest // guest time actually delivered (zero if Dropped)
 	Src, Dst  int
 	Size      int
 	Straggler bool
 	Snapped   bool // queued to the next quantum boundary
+	Dropped   bool // discarded by fault injection; never delivered
+	Duplicate bool // fault-injected extra copy of an already-delivered frame
 }
 
 // Observer receives lifecycle hooks from a running engine. A nil Observer in

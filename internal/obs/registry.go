@@ -188,7 +188,14 @@ func (r *Registry) QuantumEnd(rec QuantumRecord) {
 func (r *Registry) Packet(rec PacketRecord) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if rec.Dropped {
+		r.counters["drops"]++
+		return
+	}
 	r.counters["deliveries"]++
+	if rec.Duplicate {
+		r.counters["dups"]++
+	}
 	if rec.Src >= 0 && rec.Src < len(r.nodeSent) {
 		r.nodeSent[rec.Src]++
 	}

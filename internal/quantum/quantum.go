@@ -40,7 +40,7 @@ type Policy interface {
 	// from the one that just finished.
 	Next(fb Feedback) simtime.Duration
 	// Name identifies the policy in results and traces, e.g. "Q=100µs" or
-	// "dyn 1k 1.03:0.02".
+	// "dyn 1µs:1ms 1.03:0.02".
 	Name() string
 }
 
@@ -140,8 +140,11 @@ func (a *Adaptive) Next(fb Feedback) simtime.Duration {
 	return simtime.Duration(a.q)
 }
 
-// Name implements Policy, using the paper's labelling convention, e.g.
-// "dyn 1k 1.03:0.02" for a 1µs..1000µs range.
+// Name implements Policy. The label is "dyn <min>:<max> <inc>:<dec>" with
+// durations in simtime.Duration notation — e.g. "dyn 1µs:1ms 1.03:0.02"
+// for a 1µs..1000µs range (the paper's own labels abbreviate the same
+// parameters as "dyn 1k 1.03:0.02"). Result and trace labels key off this
+// exact format; TestAdaptiveNameFormat pins it.
 func (a *Adaptive) Name() string {
 	return fmt.Sprintf("dyn %s:%s %.2f:%.2f", a.Min, a.Max, a.Inc, a.Dec)
 }

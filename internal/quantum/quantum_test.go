@@ -209,3 +209,12 @@ func TestAdaptiveCurrent(t *testing.T) {
 		t.Error("Current did not reflect growth")
 	}
 }
+
+func TestAdaptiveNameFormat(t *testing.T) {
+	// Result and trace labels key off this exact format; the doc comment on
+	// Name promises it.
+	a := NewAdaptive(simtime.Microsecond, 1000*simtime.Microsecond, 1.03, 0.02)
+	if got, want := a.Name(), "dyn 1µs:1ms 1.03:0.02"; got != want {
+		t.Errorf("Adaptive.Name() = %q, want %q", got, want)
+	}
+}

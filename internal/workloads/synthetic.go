@@ -5,6 +5,7 @@ import (
 
 	"clustersim/internal/guest"
 	"clustersim/internal/mpi"
+	"clustersim/internal/msg"
 	"clustersim/internal/rng"
 	"clustersim/internal/simtime"
 )
@@ -87,6 +88,45 @@ func Phases(phases int, compute simtime.Duration, burstBytes int) Workload {
 					c.Alltoall(burstBytes / size)
 				}
 				c.Barrier()
+				if rank == 0 {
+					pr.Report("time_s", seconds(pr.Now().Sub(start)))
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// ReliablePhases is Phases run over the reliable transport: the same
+// compute/alltoall cycle, but every message is acknowledged and retransmitted
+// on loss, so the workload completes (rather than stalls) under fault
+// injection. Each rank flushes its in-flight messages, stays responsive
+// through a drain window so peers' final retransmissions find an acker, and
+// publishes the transport counters (msg_retransmits, msg_timeouts, ...) as
+// node metrics. A delivery failure (a message abandoned after the transport's
+// retry cap) fails the rank's program and thus the run.
+func ReliablePhases(phases int, compute simtime.Duration, burstBytes int) Workload {
+	return Workload{
+		Name:           "synthetic.reliable-phases",
+		Key:            fmt.Sprintf("synthetic.reliable-phases|%d|%v|%d", phases, compute, burstBytes),
+		Metric:         "time_s",
+		HigherIsBetter: false,
+		New: func(rank, size int) guest.Program {
+			return func(pr *guest.Proc) error {
+				cfg := msg.DefaultConfig()
+				cfg.Reliable = true
+				c := mpi.NewWithConfig(pr, cfg)
+				start := pr.Now()
+				for ph := 0; ph < phases; ph++ {
+					pr.Compute(compute)
+					c.Alltoall(burstBytes / size)
+				}
+				c.Barrier()
+				if err := c.Flush(); err != nil {
+					return err
+				}
+				c.Drain(30 * simtime.Millisecond)
+				c.Endpoint().ReportMetrics()
 				if rank == 0 {
 					pr.Report("time_s", seconds(pr.Now().Sub(start)))
 				}
