@@ -1,0 +1,45 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+SIMLINT := $(CURDIR)/bin/simlint
+
+.PHONY: all build test race lint simlint vet-simlint fmt clean
+
+all: build test simlint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# simlint smoke: the determinism analyzer suite over the whole module.
+# Exits non-zero on any finding that is not covered by a justified
+# //simlint:<category> directive.
+simlint:
+	$(GO) run ./cmd/simlint ./...
+
+# The same analyzers driven through go vet's unitchecker protocol — what
+# editors and `go vet -vettool` users exercise.
+vet-simlint: $(SIMLINT)
+	$(GO) vet -vettool=$(SIMLINT) ./...
+
+$(SIMLINT): FORCE
+	$(GO) build -o $(SIMLINT) ./cmd/simlint
+
+FORCE:
+
+# lint = everything static that CI gates on and that runs offline.
+lint: simlint
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf bin

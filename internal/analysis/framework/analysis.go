@@ -1,0 +1,154 @@
+// Package framework is a small, stdlib-only re-implementation of the core of
+// golang.org/x/tools/go/analysis, sufficient to host simlint's analyzers.
+//
+// The real x/tools module is deliberately not a dependency: the simulator is
+// a zero-dependency codebase, and the subset an analyzer actually needs —
+// parsed files, type information, a Report callback — is a few hundred lines
+// on top of go/ast, go/types and `go list`. The API mirrors x/tools closely
+// enough that the analyzers could be ported to the real framework by changing
+// imports.
+//
+// On top of the x/tools shape it adds one simulator-specific facility:
+// //simlint:NAME directives (see directives.go), the escape hatch through
+// which code asserts that a flagged construct is intentional. A directive
+// must carry a one-line justification; a bare directive is itself reported.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer with the material for one package and
+// collects the diagnostics it reports.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives *DirectiveSet
+	// reportedDirectives dedupes the "directive needs a justification"
+	// diagnostic when one bare directive suppresses several findings.
+	reportedDirectives map[*Directive]bool
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Category is the directive name that can suppress the finding (for
+	// most analyzers it equals Analyzer; lockcopy splits into
+	// lockcopy/atomicmix, nodetsource into wallclock/nodetsource).
+	Category string
+	Message  string
+}
+
+// Directives returns the package's parsed //simlint: directives.
+func (p *Pass) Directives() *DirectiveSet {
+	if p.directives == nil {
+		p.directives = CollectDirectives(p.Fset, p.Files)
+	}
+	return p.directives
+}
+
+// Report records a finding unless a //simlint:<category> directive on the
+// finding's line (or the line above it) suppresses it. A suppressing
+// directive with no justification text is itself reported, once.
+func (p *Pass) Report(category string, pos token.Pos, format string, args ...any) {
+	if d := p.Directives().Suppressing(category, p.Fset, pos); d != nil {
+		if d.Reason == "" {
+			if p.reportedDirectives == nil {
+				p.reportedDirectives = map[*Directive]bool{}
+			}
+			if !p.reportedDirectives[d] {
+				p.reportedDirectives[d] = true
+				p.diags = append(p.diags, Diagnostic{
+					Pos:      d.Pos,
+					Analyzer: p.Analyzer.Name,
+					Category: category,
+					Message: fmt.Sprintf("//simlint:%s directive needs a one-line justification "+
+						"(write //simlint:%s <why this is safe>)", category, category),
+				})
+			}
+		}
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined findings in deterministic (position, analyzer, message) order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	SortDiagnostics(out, pkgs)
+	return out, nil
+}
+
+// SortDiagnostics orders diags by file position, then analyzer, then message,
+// so output never depends on map iteration order inside the analyzers.
+func SortDiagnostics(diags []Diagnostic, pkgs []*Package) {
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if fset != nil {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			if pi.Line != pj.Line {
+				return pi.Line < pj.Line
+			}
+			if pi.Column != pj.Column {
+				return pi.Column < pj.Column
+			}
+		} else if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+}

@@ -1,0 +1,12 @@
+package guestwall_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/guestwall"
+)
+
+func TestGuestwall(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guestwall.Analyzer, "a")
+}

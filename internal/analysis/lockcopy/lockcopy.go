@@ -1,0 +1,316 @@
+// Package lockcopy defines a simlint analyzer covering two concurrency bug
+// classes in the hot barrier/registry paths:
+//
+//   - lockcopy: a value of a type that transitively contains a lock
+//     (sync.Mutex and friends, sync/atomic value types) is copied — by
+//     assignment, parameter passing, value receiver, range value or
+//     return. A copied lock is a distinct lock: goroutines that think
+//     they synchronize on the same mutex silently stop excluding each
+//     other, which in this codebase means a torn Stats or registry update
+//     rather than a crash.
+//
+//   - atomicmix: a variable or field that is accessed through sync/atomic
+//     somewhere in the package is also read or written plainly. Mixed
+//     access defeats the atomic protocol (the plain access races with the
+//     atomic ones), and the race detector only catches it when a test
+//     happens to interleave the two.
+//
+// Findings are suppressible per-category: //simlint:lockcopy <why> and
+// //simlint:atomicmix <why> (e.g. for a plain read that is provably
+// pre-publication, such as a var initializer already exempted below).
+package lockcopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"clustersim/internal/analysis/framework"
+)
+
+// Analyzer flags by-value lock copies and mixed atomic/plain access.
+var Analyzer = &framework.Analyzer{
+	Name: "lockcopy",
+	Doc: "flag by-value copies of lock-bearing structs (category lockcopy) and " +
+		"variables accessed both atomically and plainly (category atomicmix)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		checkCopies(pass, file)
+	}
+	checkAtomicMix(pass)
+	return nil, nil
+}
+
+// ---------------------------------------------------------------- lockcopy
+
+// lockTypes are the sync/sync-atomic types that must never be copied after
+// first use. Types containing them (transitively, through struct fields and
+// array elements) inherit the property.
+var lockTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+	"sync.Map":       true,
+	"sync.Pool":      true,
+	"atomic.Bool":    true,
+	"atomic.Int32":   true,
+	"atomic.Int64":   true,
+	"atomic.Uint32":  true,
+	"atomic.Uint64":  true,
+	"atomic.Uintptr": true,
+	"atomic.Pointer": true,
+	"atomic.Value":   true,
+}
+
+// lockPath returns a human-readable path to the first lock found inside t
+// ("" if t carries no lock by value). Pointers, slices, maps and channels
+// break the chain: sharing a lock through a pointer is the correct pattern.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			name := obj.Pkg().Name() + "." + obj.Name()
+			if (obj.Pkg().Path() == "sync" || obj.Pkg().Path() == "sync/atomic") && lockTypes[name] {
+				return name
+			}
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if p := lockPath(f.Type(), seen); p != "" {
+				return f.Name() + "." + p
+			}
+		}
+	case *types.Array:
+		if p := lockPath(t.Elem(), seen); p != "" {
+			return "[i]." + p
+		}
+	}
+	return ""
+}
+
+// copyRead reports whether e reads an existing value (so using it as a
+// non-pointer source or sink copies it). Fresh values — composite literals,
+// conversions, function call results — are not copies of a shared lock.
+func copyRead(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.ParenExpr:
+		return copyRead(e.X)
+	}
+	return false
+}
+
+// checkCopies flags lock-bearing values copied by assignment, call argument,
+// return, range value, parameter or receiver.
+func checkCopies(pass *framework.Pass, file *ast.File) {
+	reportIfLocked := func(e ast.Expr, pos ast.Node, what string) {
+		if !copyRead(e) {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(e)
+		if t == nil {
+			return
+		}
+		if p := lockPath(t, nil); p != "" {
+			pass.Report("lockcopy", pos.Pos(),
+				"%s copies %s, which contains %s by value; share it through a pointer "+
+					"or annotate //simlint:lockcopy <why>",
+				what, typeString(t), p)
+		}
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypesInfo.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if p := lockPath(t, nil); p != "" {
+				pass.Report("lockcopy", f.Pos(),
+					"%s of type %s copies %s by value at every call; take a pointer "+
+						"or annotate //simlint:lockcopy <why>",
+					what, typeString(t), p)
+			}
+		}
+	}
+
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Recv, "receiver")
+			checkFieldList(n.Type.Params, "parameter")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				reportIfLocked(rhs, n, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				reportIfLocked(v, n, "assignment")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				reportIfLocked(r, n, "return")
+			}
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				reportIfLocked(arg, n, "call argument")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := pass.TypesInfo.TypeOf(n.Value)
+				if t != nil {
+					if p := lockPath(t, nil); p != "" {
+						pass.Report("lockcopy", n.Value.Pos(),
+							"range value copies %s, which contains %s by value; range over "+
+								"indices or pointers, or annotate //simlint:lockcopy <why>",
+							typeString(t), p)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --------------------------------------------------------------- atomicmix
+
+// checkAtomicMix finds objects whose address is passed to sync/atomic
+// functions, then flags plain (non-atomic) uses of the same objects.
+func checkAtomicMix(pass *framework.Pass) {
+	atomicObjs := map[types.Object]bool{} // objects atomically accessed
+	atomicIdents := map[*ast.Ident]bool{} // idents appearing inside atomic call args
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						atomicIdents[id] = true
+					}
+					return true
+				})
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if obj := addressedObject(pass, un.X); obj != nil {
+					atomicObjs[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicIdents[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			if inExemptContext(stack) {
+				return true
+			}
+			pass.Report("atomicmix", id.Pos(),
+				"%s is accessed with sync/atomic elsewhere in this package; this plain "+
+					"access races with the atomic ones (use sync/atomic here too, or "+
+					"annotate //simlint:atomicmix <why>)",
+				id.Name)
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &e to the variable or field object being
+// addressed (the leaf of a selector chain, or a plain identifier).
+func addressedObject(pass *framework.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return addressedObject(pass, e.X)
+	}
+	return nil
+}
+
+// inExemptContext reports whether the innermost interesting ancestor makes
+// a plain mention of an atomic object safe: its own declaration (package
+// initialization happens-before everything) or a composite-literal field
+// key (naming the field, not accessing it).
+func inExemptContext(stack []ast.Node) bool {
+	sawSpec := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.KeyValueExpr:
+			// Only exempt when the ident IS the key (field name position).
+			if i+1 < len(stack) {
+				if id, ok := stack[i+1].(ast.Expr); ok && n.Key == id {
+					return true
+				}
+			}
+		case *ast.ValueSpec:
+			sawSpec = true
+		case *ast.FuncDecl, *ast.FuncLit:
+			// A declaration inside a function runs concurrently with the
+			// world; only package-level initialization is pre-publication.
+			return false
+		case *ast.File:
+			return sawSpec
+		}
+	}
+	return false
+}
+
+// typeString renders a type compactly with package-name qualifiers.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,12 @@
+package lockcopy_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/lockcopy"
+)
+
+func TestLockcopyAtomicmix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcopy.Analyzer, "a")
+}

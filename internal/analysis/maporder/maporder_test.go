@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
+		"clustersim/internal/obs", // export path: findings expected
+		"example.com/app",         // outside the set: must stay silent
+	)
+}

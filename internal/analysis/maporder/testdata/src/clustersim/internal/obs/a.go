@@ -1,0 +1,89 @@
+// Package obs is simlint testdata standing in for an export-path package
+// (snapshots, traces, CSV assembly) where map iteration order must never
+// reach the output.
+package obs
+
+import "sort"
+
+func sink(string) {}
+
+// unsortedKeys feeds output without sorting: flagged.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// renderInOrder writes during iteration: flagged.
+func renderInOrder(m map[string]int) {
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		sink(k)
+	}
+}
+
+// floatSum accumulates floats in visit order: flagged (float addition is
+// not associative, so even a "commutative" reduction is order-sensitive).
+func floatSum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		s += v
+	}
+	return s
+}
+
+// sortedKeys is the canonical collect-then-sort idiom: allowed.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// merge stores pointwise into another map: allowed (order cannot leak).
+func merge(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// prune deletes during iteration: allowed.
+func prune(dst map[string]int, drop map[string]bool) {
+	for k := range drop {
+		delete(dst, k)
+	}
+}
+
+// count binds neither key nor value: order is unobservable, allowed.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// hasTrue is order-sensitive by shape but annotated with a justification.
+func hasTrue(m map[string]bool) bool {
+	//simlint:maporder existence predicate: result is identical whichever order entries are visited
+	for _, v := range m {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// bareDirective still suppresses the finding but is itself reported.
+func bareDirective(m map[string]bool) bool {
+	//simlint:maporder // want `//simlint:maporder directive needs a one-line justification`
+	for _, v := range m {
+		if v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+// Package app is simlint testdata for a package outside the export set:
+// unsorted iteration is not this analyzer's business there.
+package app
+
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

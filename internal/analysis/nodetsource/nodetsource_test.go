@@ -1,0 +1,15 @@
+package nodetsource_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/nodetsource"
+)
+
+func TestNodetsource(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nodetsource.Analyzer,
+		"clustersim/internal/cluster", // critical: findings expected
+		"example.com/app",             // outside the set: must stay silent
+	)
+}

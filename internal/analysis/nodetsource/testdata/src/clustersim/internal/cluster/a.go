@@ -1,0 +1,69 @@
+// Package cluster is simlint testdata standing in for a
+// determinism-critical engine package (the import path, not the contents,
+// drives the critical-package matching).
+package cluster
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// wallClock exercises every flagged clock primitive.
+func wallClock() time.Duration {
+	t0 := time.Now()                    // want `time\.Now reads the wall clock in determinism-critical package clustersim/internal/cluster`
+	d := time.Since(t0)                 // want `time\.Since reads the wall clock`
+	_ = time.Until(t0.Add(time.Second)) // want `time\.Until reads the wall clock`
+	time.Sleep(d)                       // want `time\.Sleep reads the wall clock`
+	return d
+}
+
+// okDurations shows that time constants and pure duration arithmetic stay
+// legal: only clock reads break repeatability.
+func okDurations() time.Duration {
+	return 3*time.Millisecond + time.Microsecond
+}
+
+// globalRand exercises the math/rand findings.
+func globalRand() int {
+	return rand.Intn(8) // want `math/rand \(Intn\) is not a sanctioned randomness source`
+}
+
+// seededRand is still flagged: even a locally seeded math/rand stream is not
+// routed through clustersim/internal/rng's splittable streams.
+func seededRand() int64 {
+	r := rand.New(rand.NewSource(1)) // want `math/rand \(New\) is not a sanctioned randomness source` `math/rand \(NewSource\) is not a sanctioned randomness source`
+	return r.Int63()                 // want `math/rand \(Int63\) is not a sanctioned randomness source`
+}
+
+// environment exercises the env findings.
+func environment() string {
+	if v, ok := os.LookupEnv("SIM_DEBUG"); ok { // want `os\.LookupEnv reads the process environment`
+		return v
+	}
+	return os.Getenv("SIM_MODE") // want `os\.Getenv reads the process environment`
+}
+
+// osConstOK shows that non-environment os identifiers stay legal.
+const osConstOK = os.PathSeparator
+
+// annotatedTrailing is suppressed by a justified trailing directive.
+func annotatedTrailing() time.Time {
+	return time.Now() //simlint:wallclock testdata justification: progress display only
+}
+
+// annotatedAbove is suppressed by a justified directive on the line above.
+func annotatedAbove() time.Time {
+	//simlint:wallclock testdata justification: covers the next line
+	return time.Now()
+}
+
+// annotatedRand shows the generic nodetsource escape hatch.
+func annotatedRand() int {
+	return rand.Intn(3) //simlint:nodetsource testdata justification: tooling-only path
+}
+
+// bareDirective still suppresses the finding but is itself reported.
+func bareDirective() time.Time {
+	return time.Now() //simlint:wallclock // want `//simlint:wallclock directive needs a one-line justification`
+}

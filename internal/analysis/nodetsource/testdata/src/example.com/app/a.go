@@ -1,0 +1,18 @@
+// Package app is simlint testdata for a package OUTSIDE the
+// determinism-critical set: the same constructs produce no findings.
+package app
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func globalRand() int { return rand.Intn(8) }
+
+func environment() string { return os.Getenv("SIM_MODE") }

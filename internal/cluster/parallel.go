@@ -173,7 +173,7 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		})
 	}
 	policy := cfg.Policy()
-	r.startWall = time.Now()
+	r.startWall = time.Now() //simlint:wallclock the real-time runner measures actual wall time by design; the deterministic engine models it instead
 	if r.obs != nil {
 		r.obs.RunStart(obs.RunInfo{
 			Nodes:    cfg.Nodes,
@@ -262,7 +262,7 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	}
 
 	res := &ParallelResult{
-		Wall:       time.Since(start),
+		Wall:       time.Since(start), //simlint:wallclock reporting the measured wall duration of a real-time run
 		Stats:      r.stats,
 		PolicyName: policy.Name(),
 	}
@@ -310,7 +310,8 @@ func (r *prun) signalController() {
 
 // hostNow is the hook host clock: real nanoseconds since the run started.
 func (r *prun) hostNow() simtime.Host {
-	return simtime.Host(time.Since(r.startWall).Nanoseconds())
+	//simlint:guestwall hostNow is the sanctioned wall→host bridge: the real-time runner's host clock IS the wall clock
+	return simtime.Host(time.Since(r.startWall).Nanoseconds()) //simlint:wallclock see above; observer host timestamps come from here
 }
 
 func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qStartH simtime.Host) {
@@ -372,9 +373,11 @@ func (r *prun) runQuantum(pn *pnode, gen int) bool {
 		case guest.StepBusy:
 			if r.obs != nil {
 				h0 := r.hostNow()
+				//simlint:guestwall guest busy-time is deliberately exchanged for real CPU burn, scaled by spinPerBusy
 				spin(time.Duration(float64(st.To.Sub(st.From)) * pn.spinPerBusy))
 				r.obs.NodePhase(pn.n.ID(), obs.PhaseBusy, st.From, st.To, h0, r.hostNow())
 			} else {
+				//simlint:guestwall guest busy-time is deliberately exchanged for real CPU burn, scaled by spinPerBusy
 				spin(time.Duration(float64(st.To.Sub(st.From)) * pn.spinPerBusy))
 			}
 
@@ -569,7 +572,7 @@ func spin(d time.Duration) {
 	spinOnce.Do(calibrateSpin)
 	batch := int(atomic.LoadInt64(&spinBatch))
 	var acc uint64
-	start := time.Now()
+	start := time.Now() //simlint:wallclock spin burns real CPU time; the clock read is the loop's termination condition
 	for time.Since(start) < d {
 		acc = spinWork(acc, batch)
 	}
@@ -591,9 +594,9 @@ var (
 // batch costs roughly spinBatchTarget.
 func calibrateSpin() {
 	const probe = 1 << 18
-	start := time.Now()
+	start := time.Now() //simlint:wallclock calibration times real spin work against the wall clock; affects pacing only, never results
 	acc := spinWork(1, probe)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //simlint:wallclock see calibration note above
 	atomic.StoreUint64(&spinSink, acc)
 	if elapsed <= 0 {
 		return // keep the default batch

@@ -150,6 +150,7 @@ func (p *Plan) Slowdown(node int) float64 {
 
 // HasSlowdown reports whether any node runs at a factor other than 1.
 func (p *Plan) HasSlowdown() bool {
+	//simlint:maporder existence predicate: the result is the same whichever order the entries are visited
 	for _, f := range p.NodeSlowdown {
 		if f != 1 {
 			return true
@@ -185,17 +186,45 @@ func (p *Plan) Validate() error {
 	if err := validateLink("default link", p.Default); err != nil {
 		return err
 	}
-	for k, l := range p.Links {
-		if err := validateLink(fmt.Sprintf("link %d->%d", k.Src, k.Dst), l); err != nil {
+	// Walk keys in sorted order so a plan with several invalid entries
+	// reports the same (first) error on every run; ranging the maps
+	// directly made the reported error depend on map iteration order.
+	for _, k := range sortedLinkKeys(p.Links) {
+		if err := validateLink(fmt.Sprintf("link %d->%d", k.Src, k.Dst), p.Links[k]); err != nil {
 			return err
 		}
 	}
-	for n, f := range p.NodeSlowdown {
-		if f <= 0 {
+	for _, n := range sortedSlowdownNodes(p.NodeSlowdown) {
+		if f := p.NodeSlowdown[n]; f <= 0 {
 			return fmt.Errorf("faults: node %d slowdown %v must be positive", n, f)
 		}
 	}
 	return nil
+}
+
+// sortedLinkKeys returns the plan's link keys in (src, dst) order.
+func sortedLinkKeys(links map[LinkKey]Link) []LinkKey {
+	lks := make([]LinkKey, 0, len(links))
+	for k := range links {
+		lks = append(lks, k)
+	}
+	sort.Slice(lks, func(i, j int) bool {
+		if lks[i].Src != lks[j].Src {
+			return lks[i].Src < lks[j].Src
+		}
+		return lks[i].Dst < lks[j].Dst
+	})
+	return lks
+}
+
+// sortedSlowdownNodes returns the slowdown map's node ids in ascending order.
+func sortedSlowdownNodes(slow map[int]float64) []int {
+	nodes := make([]int, 0, len(slow))
+	for n := range slow {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return nodes
 }
 
 // Key returns a canonical fingerprint of the plan, suitable for memoization
@@ -207,25 +236,10 @@ func (p *Plan) Key() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed=%d;%s", p.Seed, linkKeyStr(p.Default))
-	lks := make([]LinkKey, 0, len(p.Links))
-	for k := range p.Links {
-		lks = append(lks, k)
-	}
-	sort.Slice(lks, func(i, j int) bool {
-		if lks[i].Src != lks[j].Src {
-			return lks[i].Src < lks[j].Src
-		}
-		return lks[i].Dst < lks[j].Dst
-	})
-	for _, k := range lks {
+	for _, k := range sortedLinkKeys(p.Links) {
 		fmt.Fprintf(&b, ";%d->%d:%s", k.Src, k.Dst, linkKeyStr(p.Links[k]))
 	}
-	nodes := make([]int, 0, len(p.NodeSlowdown))
-	for n := range p.NodeSlowdown {
-		nodes = append(nodes, n)
-	}
-	sort.Ints(nodes)
-	for _, n := range nodes {
+	for _, n := range sortedSlowdownNodes(p.NodeSlowdown) {
 		fmt.Fprintf(&b, ";slow%d=%g", n, p.NodeSlowdown[n])
 	}
 	return b.String()

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"clustersim/internal/simtime"
@@ -233,4 +234,45 @@ func FuzzFaultPlan(f *testing.F) {
 			t.Fatalf("non-duplicated frame carries dup delay: %+v", d)
 		}
 	})
+}
+
+// TestValidateErrorDeterministic pins the fix for the map-iteration-order
+// bug: a plan with several invalid entries must report the same first error
+// on every call. The invalid links are chosen so sorted (src, dst) order
+// differs from any likely insertion or hash order.
+func TestValidateErrorDeterministic(t *testing.T) {
+	p := &Plan{
+		Links: map[LinkKey]Link{
+			{9, 0}: {Loss: 1.5},
+			{3, 7}: {Loss: 2},
+			{0, 2}: {Loss: -1},
+			{5, 5}: {Dup: 3},
+		},
+		NodeSlowdown: map[int]float64{4: -1, 1: 0, 8: -2},
+	}
+	first := p.Validate()
+	if first == nil {
+		t.Fatal("plan with invalid entries passed validation")
+	}
+	// Sorted order puts link 0->2 ahead of every other invalid entry.
+	if !strings.Contains(first.Error(), "link 0->2") {
+		t.Fatalf("first error = %q, want the lowest-ordered link 0->2", first)
+	}
+	for i := 0; i < 100; i++ {
+		if err := p.Validate(); err == nil || err.Error() != first.Error() {
+			t.Fatalf("iteration %d: error %q differs from first %q", i, err, first)
+		}
+	}
+
+	// Slowdown-only plans must be deterministic too.
+	q := &Plan{NodeSlowdown: map[int]float64{4: -1, 1: 0, 8: -2}}
+	sfirst := q.Validate()
+	if sfirst == nil || !strings.Contains(sfirst.Error(), "node 1") {
+		t.Fatalf("first slowdown error = %v, want node 1 (lowest id)", sfirst)
+	}
+	for i := 0; i < 100; i++ {
+		if err := q.Validate(); err == nil || err.Error() != sfirst.Error() {
+			t.Fatalf("iteration %d: slowdown error %q differs from %q", i, err, sfirst)
+		}
+	}
 }

@@ -51,7 +51,7 @@ func NewProgress(w io.Writer, target simtime.Guest, interval time.Duration) *Pro
 func (p *Progress) RunStart(info RunInfo) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.start = time.Now()
+	p.start = time.Now() //simlint:wallclock progress reporting is rate-limited by real time; it renders to stderr and never feeds results
 	p.lastReport = p.start
 	if p.target == 0 {
 		p.target = info.MaxGuest
@@ -81,7 +81,7 @@ func (p *Progress) QuantumEnd(rec QuantumRecord) {
 	p.packets += int64(rec.Packets)
 	p.stragglers += int64(rec.Stragglers)
 	p.guest = rec.Start.Add(rec.Q)
-	if time.Since(p.lastReport) >= p.interval {
+	if time.Since(p.lastReport) >= p.interval { //simlint:wallclock report rate limiting compares real elapsed time; results are unaffected
 		p.report(false)
 	}
 }
@@ -94,7 +94,7 @@ func (p *Progress) NodePhase(int, Phase, simtime.Guest, simtime.Guest, simtime.H
 
 // report writes one status line. Callers hold p.mu.
 func (p *Progress) report(final bool) {
-	now := time.Now()
+	now := time.Now() //simlint:wallclock quanta/sec rate in the status line is measured against the real clock
 	wall := now.Sub(p.lastReport)
 	rate := 0.0
 	if wall > 0 {
