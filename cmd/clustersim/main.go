@@ -22,7 +22,9 @@ import (
 	"clustersim/internal/cluster"
 	"clustersim/internal/experiments"
 	"clustersim/internal/faults"
+	"clustersim/internal/netmodel"
 	"clustersim/internal/obs"
+	"clustersim/internal/prof"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 	"clustersim/internal/trace"
@@ -53,6 +55,8 @@ var (
 	traceOutFlag    = flag.String("trace-out", "", "stream a Chrome trace-event JSON file here (open in chrome://tracing or ui.perfetto.dev)")
 	metricsAddrFlag = flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address (e.g. localhost:6060) and print a text snapshot at exit")
 	progressFlag    = flag.Bool("progress", false, "report live progress (guest %, quanta/s, current Q, straggler rate) on stderr")
+	reportFlag      = flag.String("report", "", "write a sync-overhead attribution report here (JSON, plus .nodes.csv/.links.csv sidecars); inspect with simprof")
+	topoFlag        = flag.String("topo", "", "switch topology override: rack:<radix>:<edge>:<core> builds a two-level fat-tree (e.g. rack:4:500ns:2us); default keeps the paper's perfect switch")
 )
 
 func pickWorkload(name string, scale float64) (workloads.Workload, error) {
@@ -119,6 +123,30 @@ func parsePolicy() (func() quantum.Policy, error) {
 	return func() quantum.Policy { return quantum.NewAdaptive(min, max, inc, dec) }, nil
 }
 
+// parseTopo parses the -topo flag into a switch model. The "rack" form
+// models racks of radix nodes behind edge switches joined by a core layer,
+// the topology where per-link slack differs by rack locality — the shape the
+// profiler's limiting-links ranking is designed to explain.
+func parseTopo(spec string) (netmodel.SwitchModel, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 || parts[0] != "rack" {
+		return nil, fmt.Errorf("-topo wants rack:<radix>:<edge>:<core>, got %q", spec)
+	}
+	radix, err := strconv.Atoi(parts[1])
+	if err != nil || radix < 1 {
+		return nil, fmt.Errorf("-topo radix %q: want a positive integer", parts[1])
+	}
+	edge, err := simtime.ParseDuration(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("-topo edge latency: %w", err)
+	}
+	core, err := simtime.ParseDuration(parts[3])
+	if err != nil {
+		return nil, fmt.Errorf("-topo core latency: %w", err)
+	}
+	return &netmodel.FatTreeSwitch{Radix: radix, EdgeLatency: edge, CoreLatency: core}, nil
+}
+
 func main() {
 	flag.Parse()
 	if err := withProfiles(*cpuProfFlag, *memProfFlag, run); err != nil {
@@ -163,8 +191,9 @@ func withProfiles(cpu, mem string, f func() error) error {
 // -metrics-addr and -progress flags. The returned cleanup finalizes the
 // trace file, prints the metrics snapshot, and stops the HTTP endpoint; it
 // runs even when the simulation fails so a partial trace stays loadable.
-func observability(target simtime.Guest) (obs.Observer, func() error, error) {
+func observability(target simtime.Guest) (obs.Observer, *obs.Registry, func() error, error) {
 	var observers []obs.Observer
+	var registry *obs.Registry
 	var cleanups []func() error
 	cleanup := func() error {
 		var first error
@@ -178,7 +207,7 @@ func observability(target simtime.Guest) (obs.Observer, func() error, error) {
 	if *traceOutFlag != "" {
 		f, err := os.Create(*traceOutFlag)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		t := obs.NewChromeTracer(f)
 		observers = append(observers, t)
@@ -195,9 +224,10 @@ func observability(target simtime.Guest) (obs.Observer, func() error, error) {
 		srv, err := obs.Serve(*metricsAddrFlag, reg)
 		if err != nil {
 			cleanup()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "clustersim: metrics at http://%s/\n", srv.Addr())
+		registry = reg
 		observers = append(observers, reg)
 		cleanups = append(cleanups, func() error {
 			fmt.Fprint(os.Stderr, reg.Text())
@@ -207,7 +237,7 @@ func observability(target simtime.Guest) (obs.Observer, func() error, error) {
 	if *progressFlag {
 		observers = append(observers, obs.NewProgress(os.Stderr, target, 0))
 	}
-	return obs.Multi(observers...), cleanup, nil
+	return obs.Multi(observers...), registry, cleanup, nil
 }
 
 func run() (err error) {
@@ -238,12 +268,19 @@ func run() (err error) {
 	}
 	env := experiments.DefaultEnv()
 	env.Host.Seed = *seedFlag
+	if *topoFlag != "" {
+		sw, terr := parseTopo(*topoFlag)
+		if terr != nil {
+			return terr
+		}
+		env.Net.Switch = sw
+	}
 	plan, err := faults.Parse(*faultsFlag, *faultSeedFlag)
 	if err != nil {
 		return err
 	}
 
-	observer, obsCleanup, err := observability(env.MaxGuest)
+	observer, registry, obsCleanup, err := observability(env.MaxGuest)
 	if err != nil {
 		return err
 	}
@@ -253,8 +290,26 @@ func run() (err error) {
 		}
 	}()
 
+	var profiler *prof.Profiler
+	if *reportFlag != "" {
+		profiler = prof.New()
+		if registry != nil {
+			profiler.LiveMetrics = registry
+		}
+		defer func() {
+			if err != nil {
+				return
+			}
+			if werr := profiler.Report().WriteFiles(*reportFlag); werr != nil {
+				err = werr
+				return
+			}
+			fmt.Fprintf(os.Stderr, "clustersim: report written to %s\n", *reportFlag)
+		}()
+	}
+
 	if *parallelFlag {
-		return runParallel(w, policy, env, observer, plan)
+		return runParallel(w, policy, env, observer, profiler, plan)
 	}
 
 	cfg := cluster.Config{
@@ -270,6 +325,7 @@ func run() (err error) {
 		Observer:     observer,
 		Workers:      *intraFlag,
 		Faults:       plan,
+		Profiler:     profiler,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {
@@ -288,7 +344,7 @@ func run() (err error) {
 	return nil
 }
 
-func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer, plan *faults.Plan) error {
+func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer, profiler *prof.Profiler, plan *faults.Plan) error {
 	res, err := cluster.RunParallel(cluster.ParallelConfig{
 		Nodes:            *nodesFlag,
 		Guest:            env.Guest,
@@ -299,6 +355,7 @@ func runParallel(w workloads.Workload, policy func() quantum.Policy, env experim
 		MaxGuest:         env.MaxGuest,
 		Observer:         observer,
 		Faults:           plan,
+		Profiler:         profiler,
 	})
 	if err != nil {
 		return err

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"clustersim/internal/experiments"
+	"clustersim/internal/prof"
 	"clustersim/internal/simtime"
 	"clustersim/internal/trace"
 	"clustersim/internal/workloads"
@@ -41,6 +42,7 @@ var (
 	cpuProfFlag = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	seedFlag    = flag.Uint64("fault-seed", 1, "seed for the fault-injection plans of the faults study")
+	reportFlag  = flag.String("report", "", "write a sync-overhead attribution sweep (one labelled report per run) here as JSON, plus a .links.csv sidecar; inspect with simprof")
 )
 
 func main() {
@@ -93,6 +95,16 @@ func run() error {
 			st := env.Baselines.Stats()
 			fmt.Fprintf(os.Stderr, "paperfigs: baseline cache: %d baselines simulated, %d reused, %d trace upgrades\n",
 				st.Misses, st.Hits, st.Upgrades)
+		}()
+	}
+	if *reportFlag != "" {
+		env.Profiles = &prof.Sweep{}
+		defer func() {
+			if err := env.Profiles.Report().WriteFiles(*reportFlag); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: writing %s: %v\n", *reportFlag, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "paperfigs: profile sweep written to %s\n", *reportFlag)
 		}()
 	}
 	which := strings.ToLower(*figFlag)

@@ -1,0 +1,401 @@
+// Command simprof renders and compares the sync-overhead attribution
+// reports written by clustersim -report (single run) and paperfigs -report
+// (labelled sweep).
+//
+// Examples:
+//
+//	simprof run.json              # render one report
+//	simprof -top 5 run.json       # shorter link/node tables
+//	simprof a.json b.json         # diff two reports (or two sweeps)
+//	simprof -run nas.is/8/100 sweep.json
+//
+// The rendering answers the paper's operational questions directly: where
+// each host-second went (compute, idle, barrier wait, routing, barrier
+// fixed cost), how often the intra-quantum fast path was eligible and what
+// disabled it otherwise, and which minimum-latency links gate the global
+// lookahead bound Q ≤ T.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"clustersim/internal/prof"
+	"clustersim/internal/simtime"
+)
+
+var (
+	topFlag = flag.Int("top", 10, "rows in the per-node and limiting-link tables")
+	runFlag = flag.String("run", "", "render only this labelled run of a sweep report")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simprof [flags] report.json [other.json]\n\n")
+		fmt.Fprintf(os.Stderr, "With one file, renders the report (or a sweep summary). With two,\ndiffs them: single vs single, or sweep vs sweep matched by label.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "simprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	switch len(args) {
+	case 1:
+		return render(args[0])
+	case 2:
+		return diff(args[0], args[1])
+	default:
+		flag.Usage()
+		return fmt.Errorf("want 1 or 2 report files, got %d", len(args))
+	}
+}
+
+// load reads path as either schema, returning exactly one non-nil result.
+func load(path string) (*prof.Report, *prof.SweepReport, error) {
+	schema, err := prof.DetectSchema(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch schema {
+	case prof.Schema:
+		r, err := prof.Load(path)
+		return r, nil, err
+	case prof.SweepSchema:
+		s, err := prof.LoadSweep(path)
+		return nil, s, err
+	default:
+		return nil, nil, fmt.Errorf("%s: unknown schema %q", path, schema)
+	}
+}
+
+func render(path string) error {
+	single, sweep, err := load(path)
+	if err != nil {
+		return err
+	}
+	if single != nil {
+		renderReport(os.Stdout, path, single)
+		return nil
+	}
+	if *runFlag != "" {
+		for _, sr := range sweep.Runs {
+			if sr.Label == *runFlag {
+				renderReport(os.Stdout, path+" :: "+sr.Label, sr.Report)
+				return nil
+			}
+		}
+		return fmt.Errorf("%s: no run labelled %q (have %s)", path, *runFlag, labels(sweep))
+	}
+	renderSweep(os.Stdout, path, sweep)
+	return nil
+}
+
+func labels(s *prof.SweepReport) string {
+	ls := make([]string, len(s.Runs))
+	for i, r := range s.Runs {
+		ls[i] = r.Label
+	}
+	return strings.Join(ls, ", ")
+}
+
+func dur(ns int64) string { return simtime.Duration(ns).String() }
+
+func pct(part, whole int64) string {
+	if whole == 0 {
+		return "  --  "
+	}
+	return fmt.Sprintf("%5.1f%%", 100*float64(part)/float64(whole))
+}
+
+func renderReport(w *os.File, name string, r *prof.Report) {
+	fmt.Fprintf(w, "report %s\n", name)
+	fmt.Fprintf(w, "  engine %s, %d nodes, policy %q\n", r.Engine, r.Nodes, r.Policy)
+	complete := ""
+	if !r.Complete {
+		complete = "  [incomplete run: profile covers a prefix]"
+	}
+	fmt.Fprintf(w, "  guest %s  host %s  quanta %d  packets %d (%d stragglers)%s\n",
+		dur(r.GuestNS), dur(r.HostNS), r.Quanta, r.Packets, r.Stragglers, complete)
+
+	// The lookahead line names what gates the global fast-path bound Q <= T.
+	if r.LookaheadNS > 0 {
+		gate := ""
+		if len(r.MinLatencyLinks) > 0 {
+			names := make([]string, 0, 4)
+			for i, l := range r.MinLatencyLinks {
+				if i == 4 {
+					break
+				}
+				names = append(names, prof.LinkName(l.Src, l.Dst))
+			}
+			more := ""
+			if r.MinLatencyTied > int64(len(names)) {
+				more = fmt.Sprintf(", … %d total", r.MinLatencyTied)
+			}
+			gate = fmt.Sprintf(" — gated by min-latency link(s) %s%s", strings.Join(names, ", "), more)
+		}
+		fmt.Fprintf(w, "  lookahead %s%s\n", dur(r.LookaheadNS), gate)
+	} else if r.OutputQueue {
+		fmt.Fprintf(w, "  lookahead unavailable: output-queue tap voids the static latency floor\n")
+	} else {
+		fmt.Fprintf(w, "  lookahead unavailable: no positive static latency floor\n")
+	}
+
+	fmt.Fprintf(w, "\nfast path\n")
+	fmt.Fprintf(w, "  eligible %d/%d quanta (%s), spanning %s host (%s)\n",
+		r.Engagement.EligibleQuanta, r.Quanta, strings.TrimSpace(pct(r.Engagement.EligibleQuanta, r.Quanta)),
+		dur(r.Engagement.EligibleHostNS), strings.TrimSpace(pct(r.Engagement.EligibleHostNS, r.HostNS)))
+	for _, c := range r.Engagement.Causes {
+		fmt.Fprintf(w, "  cause %-22s %10d quanta %s\n", c.Cause, c.Quanta, pct(c.Quanta, r.Quanta))
+	}
+
+	t := r.Totals
+	attributed := t.ComputeNS + t.IdleNS + t.WaitNS + t.RoutingNS + t.BarrierNS
+	fmt.Fprintf(w, "\nhost-time attribution (summed across nodes)\n")
+	for _, row := range []struct {
+		name string
+		ns   int64
+	}{
+		{"compute", t.ComputeNS}, {"idle", t.IdleNS}, {"barrier wait", t.WaitNS},
+		{"routing", t.RoutingNS}, {"barrier cost", t.BarrierNS},
+	} {
+		fmt.Fprintf(w, "  %-13s %14s %s\n", row.name, dur(row.ns), pct(row.ns, attributed))
+	}
+
+	if len(r.PerNode) > 0 {
+		nodes := append([]prof.NodeProfile(nil), r.PerNode...)
+		sort.Slice(nodes, func(i, j int) bool {
+			if nodes[i].WaitNS != nodes[j].WaitNS {
+				return nodes[i].WaitNS > nodes[j].WaitNS
+			}
+			return nodes[i].Node < nodes[j].Node
+		})
+		fmt.Fprintf(w, "\nper-node, most barrier wait first (top %d of %d)\n", min(*topFlag, len(nodes)), len(nodes))
+		fmt.Fprintf(w, "  %5s %14s %14s %14s\n", "node", "compute", "idle", "wait")
+		for i, n := range nodes {
+			if i == *topFlag {
+				break
+			}
+			fmt.Fprintf(w, "  %5d %14s %14s %14s\n", n.Node, dur(n.ComputeNS), dur(n.IdleNS), dur(n.WaitNS))
+		}
+	}
+
+	if len(r.LimitingLinks) > 0 {
+		fmt.Fprintf(w, "\nlookahead-limiting links, least slack first (top %d of %d observed)\n",
+			min(*topFlag, len(r.LimitingLinks)), len(r.Links))
+		fmt.Fprintf(w, "  %-9s %14s %14s %10s\n", "link", "min slack", "min latency", "frames")
+		for i, l := range r.LimitingLinks {
+			if i == *topFlag {
+				break
+			}
+			fmt.Fprintf(w, "  %-9s %14s %14s %10d\n", prof.LinkName(l.Src, l.Dst), dur(l.SlackNS), dur(l.LatencyNS), l.Frames)
+		}
+	}
+
+	if len(r.Hists) > 0 {
+		fmt.Fprintf(w, "\ndistributions\n")
+		for _, h := range r.Hists {
+			if h.Hist.Count == 0 {
+				continue
+			}
+			mean := h.Hist.SumNS / h.Hist.Count
+			fmt.Fprintf(w, "  %-20s n=%-9d min=%-12d mean=%-12d max=%d\n",
+				h.Name, h.Hist.Count, h.Hist.Min, mean, h.Hist.Max)
+		}
+	}
+}
+
+// renderSweep prints one summary row per labelled run.
+func renderSweep(w *os.File, path string, s *prof.SweepReport) {
+	fmt.Fprintf(w, "sweep %s — %d runs (render one fully with -run <label>)\n\n", path, len(s.Runs))
+	fmt.Fprintf(w, "  %-36s %10s %8s %8s %8s %8s\n", "run", "quanta", "fast", "compute", "wait", "barrier")
+	for _, sr := range s.Runs {
+		r := sr.Report
+		t := r.Totals
+		attributed := t.ComputeNS + t.IdleNS + t.WaitNS + t.RoutingNS + t.BarrierNS
+		fmt.Fprintf(w, "  %-36s %10d %8s %8s %8s %8s\n", sr.Label, r.Quanta,
+			strings.TrimSpace(pct(r.Engagement.EligibleQuanta, r.Quanta)),
+			strings.TrimSpace(pct(t.ComputeNS, attributed)),
+			strings.TrimSpace(pct(t.WaitNS, attributed)),
+			strings.TrimSpace(pct(t.BarrierNS, attributed)))
+	}
+}
+
+func diff(pathA, pathB string) error {
+	singleA, sweepA, err := load(pathA)
+	if err != nil {
+		return err
+	}
+	singleB, sweepB, err := load(pathB)
+	if err != nil {
+		return err
+	}
+	switch {
+	case singleA != nil && singleB != nil:
+		diffReports(os.Stdout, pathA, pathB, singleA, singleB)
+		return nil
+	case sweepA != nil && sweepB != nil:
+		return diffSweeps(os.Stdout, pathA, pathB, sweepA, sweepB)
+	default:
+		return fmt.Errorf("cannot diff a single report against a sweep (%s vs %s)", pathA, pathB)
+	}
+}
+
+func delta(name string, a, b int64, asDur bool) string {
+	if a == b {
+		return ""
+	}
+	show := func(v int64) string {
+		if asDur {
+			return dur(v)
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("  %-22s %14s -> %-14s (%+d)\n", name, show(a), show(b), b-a)
+}
+
+func diffReports(w *os.File, nameA, nameB string, a, b *prof.Report) {
+	fmt.Fprintf(w, "diff %s -> %s\n", nameA, nameB)
+	var out strings.Builder
+	out.WriteString(delta("quanta", a.Quanta, b.Quanta, false))
+	out.WriteString(delta("packets", a.Packets, b.Packets, false))
+	out.WriteString(delta("stragglers", a.Stragglers, b.Stragglers, false))
+	out.WriteString(delta("guest", a.GuestNS, b.GuestNS, true))
+	out.WriteString(delta("host", a.HostNS, b.HostNS, true))
+	out.WriteString(delta("lookahead", a.LookaheadNS, b.LookaheadNS, true))
+	out.WriteString(delta("eligible quanta", a.Engagement.EligibleQuanta, b.Engagement.EligibleQuanta, false))
+	out.WriteString(delta("eligible host", a.Engagement.EligibleHostNS, b.Engagement.EligibleHostNS, true))
+	out.WriteString(delta("compute", a.Totals.ComputeNS, b.Totals.ComputeNS, true))
+	out.WriteString(delta("idle", a.Totals.IdleNS, b.Totals.IdleNS, true))
+	out.WriteString(delta("barrier wait", a.Totals.WaitNS, b.Totals.WaitNS, true))
+	out.WriteString(delta("routing", a.Totals.RoutingNS, b.Totals.RoutingNS, true))
+	out.WriteString(delta("barrier cost", a.Totals.BarrierNS, b.Totals.BarrierNS, true))
+	diffCauses(&out, a, b)
+	diffLinks(&out, a, b)
+	if out.Len() == 0 {
+		fmt.Fprintln(w, "  reports are equivalent")
+		return
+	}
+	fmt.Fprint(w, out.String())
+}
+
+func diffCauses(out *strings.Builder, a, b *prof.Report) {
+	counts := func(r *prof.Report) map[string]int64 {
+		m := make(map[string]int64, len(r.Engagement.Causes))
+		for _, c := range r.Engagement.Causes {
+			m[c.Cause] = c.Quanta
+		}
+		return m
+	}
+	ca, cb := counts(a), counts(b)
+	names := make([]string, 0, len(ca)+len(cb))
+	//simlint:maporder keys are collected then sorted before rendering
+	for n := range ca {
+		names = append(names, n)
+	}
+	//simlint:maporder keys are collected then sorted before rendering
+	for n := range cb {
+		if _, ok := ca[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.WriteString(delta("cause "+n, ca[n], cb[n], false))
+	}
+}
+
+// diffLinks reports per-link minimum-slack movement, the signal that a
+// topology or traffic change tightened or relaxed the lookahead headroom.
+func diffLinks(out *strings.Builder, a, b *prof.Report) {
+	type slack struct {
+		val int64
+		ok  bool
+	}
+	index := func(r *prof.Report) map[[2]int]slack {
+		m := make(map[[2]int]slack, len(r.Links))
+		for _, l := range r.Links {
+			m[[2]int{l.Src, l.Dst}] = slack{val: l.SlackMinNS, ok: true}
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	keys := make([][2]int, 0, len(ia)+len(ib))
+	//simlint:maporder keys are collected then sorted before rendering
+	for k := range ia {
+		keys = append(keys, k)
+	}
+	//simlint:maporder keys are collected then sorted before rendering
+	for k := range ib {
+		if _, ok := ia[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	shown := 0
+	for _, k := range keys {
+		sa, sb := ia[k], ib[k]
+		switch {
+		case sa.ok && !sb.ok:
+			fmt.Fprintf(out, "  link %-18s only in first (min slack %s)\n", prof.LinkName(k[0], k[1]), dur(sa.val))
+		case !sa.ok && sb.ok:
+			fmt.Fprintf(out, "  link %-18s only in second (min slack %s)\n", prof.LinkName(k[0], k[1]), dur(sb.val))
+		case sa.val != sb.val:
+			fmt.Fprintf(out, "  link %-18s min slack %s -> %s\n", prof.LinkName(k[0], k[1]), dur(sa.val), dur(sb.val))
+		default:
+			continue
+		}
+		shown++
+		if shown == *topFlag {
+			fmt.Fprintf(out, "  … further link changes elided (-top %d)\n", *topFlag)
+			break
+		}
+	}
+}
+
+func diffSweeps(w *os.File, nameA, nameB string, a, b *prof.SweepReport) error {
+	fmt.Fprintf(w, "diff sweeps %s -> %s\n", nameA, nameB)
+	ia := make(map[string]*prof.Report, len(a.Runs))
+	for _, r := range a.Runs {
+		ia[r.Label] = r.Report
+	}
+	matched := false
+	for _, rb := range b.Runs {
+		ra, ok := ia[rb.Label]
+		if !ok {
+			fmt.Fprintf(w, "run %q only in second\n", rb.Label)
+			continue
+		}
+		matched = true
+		diffReports(w, nameA+" :: "+rb.Label, nameB+" :: "+rb.Label, ra, rb.Report)
+		delete(ia, rb.Label)
+	}
+	for _, r := range a.Runs {
+		if _, still := ia[r.Label]; still {
+			fmt.Fprintf(w, "run %q only in first\n", r.Label)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("no labels in common")
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

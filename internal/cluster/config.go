@@ -19,6 +19,7 @@ import (
 	"clustersim/internal/host"
 	"clustersim/internal/netmodel"
 	"clustersim/internal/obs"
+	"clustersim/internal/prof"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 )
@@ -65,6 +66,13 @@ type Config struct {
 	// packet deliveries, node busy/idle segments) while the run executes.
 	// Nil disables all hooks at zero cost. See internal/obs.
 	Observer obs.Observer
+	// Profiler, when non-nil, accumulates the sync-overhead attribution
+	// profile of the run (per-node compute/idle/barrier-wait decomposition,
+	// fast-path eligibility causes, per-link lookahead slack — see
+	// internal/prof and DESIGN.md §10). Nil disables all attribution at
+	// zero cost, exactly like Observer. The resulting prof.Report is
+	// byte-identical across Workers values for a fixed configuration.
+	Profiler *prof.Profiler
 	// Workers enables the intra-quantum parallel fast path (DESIGN.md §7):
 	// whenever the current quantum Q is at most the minimum network latency,
 	// no frame sent inside the quantum can arrive inside it, so nodes are

@@ -7,8 +7,10 @@ import (
 	"clustersim/internal/eventq"
 	"clustersim/internal/guest"
 	"clustersim/internal/host"
+	"clustersim/internal/netmodel"
 	"clustersim/internal/obs"
 	"clustersim/internal/pkt"
+	"clustersim/internal/prof"
 	"clustersim/internal/quantum"
 	"clustersim/internal/rng"
 	"clustersim/internal/simtime"
@@ -93,6 +95,8 @@ type engine struct {
 	// obs mirrors cfg.Observer; every hook site is guarded by a nil check so
 	// an unobserved run builds no records and pays only the branch.
 	obs obs.Observer
+	// prof mirrors cfg.Profiler with the same nil-guard discipline.
+	prof *prof.Profiler
 	// portFree tracks, per destination, when its switch output port frees
 	// up (guest time); used only when the net model has an OutputQueue.
 	portFree []simtime.Guest
@@ -118,8 +122,16 @@ type engine struct {
 	// of intra-quantum arrivals, so nodes are walked independently (pool
 	// fans them out when Workers >= 2) and frames route at the barrier.
 	minSafeLat simtime.Duration
-	pool       *workerpool.Pool
-	walks      []nodeWalk
+	// eligLat is the fast-path eligibility lookahead: minSafeLat's value
+	// regardless of the Workers gate, so eligibility accounting (profiler
+	// causes, QuantumRecord.FastEligible) is identical for every Workers
+	// setting including the classic engine. Zero when the output-queue tap
+	// or the topology rules the fast path out entirely.
+	eligLat simtime.Duration
+	qElig   bool // current quantum's eligibility
+	nElig   int  // eligible quanta so far
+	pool    *workerpool.Pool
+	walks   []nodeWalk
 	// walkFn is the per-node walk closure, built once so the per-quantum
 	// pool dispatch stays allocation-free (it reads e.qStartH, which run()
 	// sets to the quantum's barrier-release host time).
@@ -165,6 +177,7 @@ func Run(cfg Config) (*Result, error) {
 		hm:     host.NewModel(cfg.Host),
 		policy: cfg.Policy(),
 		obs:    cfg.Observer,
+		prof:   cfg.Profiler,
 	}
 	defer e.shutdown()
 	e.nodes = make([]*nodeState, cfg.Nodes)
@@ -213,14 +226,16 @@ func (e *engine) shutdown() {
 // port-free state must be updated in the exact order the controller
 // observes frames, which only the sequential event queue reproduces.
 func (e *engine) initFast() {
-	if e.cfg.Workers < 1 || e.cfg.Net.Output != nil {
+	// The eligibility lookahead is probed for every configuration — the
+	// classic engine included — so per-quantum eligibility accounting never
+	// depends on the Workers gate.
+	if e.cfg.Net.Output == nil {
+		e.eligLat = e.cfg.Net.MinLatency(e.cfg.Nodes)
+	}
+	if e.cfg.Workers < 1 || e.eligLat <= 0 {
 		return
 	}
-	minLat := e.cfg.Net.MinLatency(e.cfg.Nodes)
-	if minLat <= 0 {
-		return
-	}
-	e.minSafeLat = minLat
+	e.minSafeLat = e.eligLat
 	e.walks = make([]nodeWalk, e.cfg.Nodes)
 	e.walkFn = func(i int) { e.walkNode(e.nodes[i], &e.walks[i], e.qStartH) }
 	if w := e.cfg.Workers; w >= 2 {
@@ -245,6 +260,18 @@ func (e *engine) run() error {
 			MaxGuest: e.cfg.MaxGuest,
 		})
 	}
+	if e.prof != nil {
+		e.prof.RunStart(prof.RunMeta{
+			Engine:      "deterministic",
+			Nodes:       e.cfg.Nodes,
+			Policy:      e.policy.Name(),
+			Lookahead:   e.eligLat,
+			OutputQueue: e.cfg.Net.Output != nil,
+			LinkLat: func(src, dst int) simtime.Duration {
+				return e.cfg.Net.FrameLatency(netmodel.MinProbe(), src, dst)
+			},
+		})
+	}
 
 	for qi := 0; ; qi++ {
 		e.limit = start.Add(Q)
@@ -254,6 +281,13 @@ func (e *engine) run() error {
 		e.lastEvtH = hostNow
 		if e.obs != nil {
 			e.obs.QuantumStart(qi, start, Q, hostNow)
+		}
+		e.qElig = e.eligLat > 0 && Q <= e.eligLat
+		if e.qElig {
+			e.nElig++
+		}
+		if e.prof != nil {
+			e.prof.BeginQuantum(qi, Q)
 		}
 
 		// With Q at or below the minimum network latency, nothing sent in
@@ -300,6 +334,21 @@ func (e *engine) run() error {
 			Add(e.cfg.Host.BarrierCost).
 			Add(simtime.Duration(e.npQuantum) * e.cfg.Host.PacketHostCost)
 		e.res.Stats.HostBarrier += barrierEnd.Sub(maxH)
+		if e.prof != nil {
+			// Per-node barrier wait: finishing the quantum until the last
+			// arrival (the shared barrier+routing costs are attributed once,
+			// below, not per node).
+			for i, ns := range e.nodes {
+				e.prof.NodeWait(i, maxH.Sub(ns.finishHost))
+			}
+			e.prof.EndQuantum(prof.QuantumStats{
+				Span:       barrierEnd.Sub(hostNow),
+				Routing:    simtime.Duration(e.npQuantum) * e.cfg.Host.PacketHostCost,
+				Barrier:    e.cfg.Host.BarrierCost,
+				Packets:    e.npQuantum,
+				Stragglers: e.strQuant,
+			})
+		}
 
 		e.recordQuantum(qi, start, Q, hostNow, maxH, barrierEnd)
 
@@ -333,7 +382,15 @@ func (e *engine) run() error {
 	}
 	e.res.Stats.finalize(e.sumQ)
 	if e.obs != nil {
-		e.obs.RunEnd(obs.RunSummary{GuestTime: e.res.GuestTime, HostEnd: hostNow})
+		e.obs.RunEnd(obs.RunSummary{
+			GuestTime:          e.res.GuestTime,
+			HostEnd:            hostNow,
+			Quanta:             e.res.Stats.Quanta,
+			FastEligibleQuanta: e.nElig,
+		})
+	}
+	if e.prof != nil {
+		e.prof.RunEnd(e.res.GuestTime, hostNow)
 	}
 	return nil
 }
@@ -351,6 +408,7 @@ func (e *engine) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, 
 			HostStart:    hStart,
 			BarrierStart: barrierStart,
 			HostEnd:      hEnd,
+			FastEligible: e.qElig,
 		}
 		if e.cfg.TraceQuanta {
 			e.res.Quanta = append(e.res.Quanta, rec)
@@ -398,6 +456,9 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 		case guest.StepBusy:
 			cost := e.hostCost(ns.n.ID(), st.From, st.To, host.Busy)
 			e.res.Stats.HostBusy += cost
+			if e.prof != nil {
+				e.prof.Segment(ns.n.ID(), prof.SegBusy, cost)
+			}
 			ns.inSeg = true
 			ns.segMode = host.Busy
 			ns.segStartG = st.From
@@ -466,6 +527,9 @@ func (e *engine) idleTo(ns *nodeState, target simtime.Guest, h simtime.Host) {
 	}
 	cost := e.hostCost(ns.n.ID(), from, target, host.Idle)
 	e.res.Stats.HostIdle += cost
+	if e.prof != nil {
+		e.prof.Segment(ns.n.ID(), prof.SegIdle, cost)
+	}
 	ns.phase = phIdle
 	ns.inSeg = true
 	ns.segMode = host.Idle
@@ -590,6 +654,13 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 	if h > e.lastEvtH {
 		e.lastEvtH = h
 	}
+	if e.prof != nil {
+		// Slack accounting uses the ideal (pre-fault) arrival: ev.tD is not
+		// yet jittered here, and both engine paths route the same frames
+		// with the same (tSend, tD), so the per-link accumulators — which
+		// are order-independent — match across paths exactly.
+		e.prof.Frame(ev.src, ev.dst, ev.tD.Sub(ev.tSend))
+	}
 	if e.cfg.LossRate > 0 &&
 		rng.HashFloat01(e.cfg.LossSeed, ev.frame.ID, uint64(ev.dst)) < e.cfg.LossRate {
 		e.res.Stats.Dropped++
@@ -697,7 +768,11 @@ func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
 			panic("cluster: idle node without a cancellable wake event")
 		}
 		// The cancelled tail of the idle segment is never simulated.
-		e.res.Stats.HostIdle -= ns.segEndH.Sub(simtime.MaxHost(h, ns.segStartH))
+		trunc := ns.segEndH.Sub(simtime.MaxHost(h, ns.segStartH))
+		e.res.Stats.HostIdle -= trunc
+		if e.prof != nil {
+			e.prof.Segment(ev.dst, prof.SegIdle, -trunc)
+		}
 		if e.obs != nil {
 			// Report the truncated idle segment: the straggler cut it short.
 			e.obs.NodePhase(ev.dst, obs.PhaseIdle, ns.segStartG, arr,
@@ -717,7 +792,11 @@ func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
 			panic("cluster: idle node without a cancellable wake event")
 		}
 		cost := e.hostCost(ns.n.ID(), ns.segStartG, arr, host.Idle)
-		e.res.Stats.HostIdle -= ns.segEndH.Sub(ns.segStartH) - cost
+		refund := ns.segEndH.Sub(ns.segStartH) - cost
+		e.res.Stats.HostIdle -= refund
+		if e.prof != nil {
+			e.prof.Segment(ns.n.ID(), prof.SegIdle, -refund)
+		}
 		ns.segEndG = arr
 		ns.segEndH = ns.segStartH.Add(cost)
 		ns.hostNow = ns.segEndH
@@ -744,6 +823,13 @@ func (e *engine) runQuantumFast(hostNow simtime.Host) {
 		wk := &e.walks[i]
 		e.res.Stats.HostBusy += wk.busy
 		e.res.Stats.HostIdle += wk.idle
+		if e.prof != nil {
+			// Fold the walk's per-node charges at the barrier so the
+			// profiler sees the same per-node totals as the classic path
+			// without any cross-worker synchronization during the walk.
+			e.prof.Segment(i, prof.SegBusy, wk.busy)
+			e.prof.Segment(i, prof.SegIdle, wk.idle)
+		}
 		if wk.done {
 			if wk.err != nil && e.firstErr == nil {
 				e.firstErr = fmt.Errorf("cluster: rank %d: %w", ns.n.ID(), wk.err)

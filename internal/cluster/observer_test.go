@@ -44,7 +44,7 @@ func TestEngineChromeTraceRoundTrip(t *testing.T) {
 	for i, ev := range events {
 		counts[ev.Ph]++
 		switch ev.Ph {
-		case "M", "X", "B", "E", "i":
+		case "M", "X", "B", "E", "i", "C":
 		default:
 			t.Fatalf("event %d: unexpected phase %q", i, ev.Ph)
 		}

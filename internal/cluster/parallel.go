@@ -12,6 +12,7 @@ import (
 	"clustersim/internal/netmodel"
 	"clustersim/internal/obs"
 	"clustersim/internal/pkt"
+	"clustersim/internal/prof"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 )
@@ -50,6 +51,13 @@ type ParallelConfig struct {
 	// but wall-clock scheduling still varies run to run. Nil injects
 	// nothing.
 	Faults *faults.Plan
+	// Profiler accumulates the sync-overhead attribution profile of the
+	// run. Host-time values come from the real wall clock, so — unlike the
+	// deterministic engine's — parallel reports are measurements that vary
+	// run to run; the barrier decomposition is first-arrival→release and
+	// per-node wait is arrival→release. Guest idle is free in real time, so
+	// idle attribution is always zero here. Nil disables at zero cost.
+	Profiler *prof.Profiler
 }
 
 // ParallelResult is the outcome of a real-time parallel run.
@@ -104,6 +112,10 @@ type pnode struct {
 	// nanosecond for this node: SpinPerGuestBusy times the fault plan's
 	// slowdown factor. Immutable after construction.
 	spinPerBusy float64
+	// arrH is the host time this node last arrived at the current
+	// quantum's barrier (reset to the quantum start on entry); guarded by
+	// prun.mu and only maintained when a profiler is attached.
+	arrH simtime.Host
 }
 
 // prun is the shared state of one parallel run. The controller mutex guards
@@ -112,8 +124,14 @@ type pnode struct {
 // barrier signals flow point-to-point instead of broadcast-waking all N
 // goroutines on every delivery and arrival.
 type prun struct {
-	cfg ParallelConfig
-	obs obs.Observer
+	cfg  ParallelConfig
+	obs  obs.Observer
+	prof *prof.Profiler
+	// eligLat mirrors the deterministic engine's fast-path eligibility
+	// lookahead so parallel runs report the same per-quantum causes.
+	eligLat simtime.Duration
+	qElig   bool
+	nElig   int
 	// startWall is the epoch for hook host times; set before any goroutine
 	// can fire a hook.
 	startWall time.Time
@@ -156,8 +174,11 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	if err := cfg.Faults.Validate(); err != nil {
 		return nil, err
 	}
-	r := &prun{cfg: cfg, obs: cfg.Observer, barrier: make(chan struct{}, 1)}
+	r := &prun{cfg: cfg, obs: cfg.Observer, prof: cfg.Profiler, barrier: make(chan struct{}, 1)}
 	r.portFree = make([]simtime.Guest, cfg.Nodes)
+	if cfg.Net.Output == nil {
+		r.eligLat = cfg.Net.MinLatency(cfg.Nodes)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		spinPer := cfg.SpinPerGuestBusy
 		if cfg.Faults != nil {
@@ -180,6 +201,18 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 			Policy:   policy.Name(),
 			Parallel: true,
 			MaxGuest: cfg.MaxGuest,
+		})
+	}
+	if r.prof != nil {
+		r.prof.RunStart(prof.RunMeta{
+			Engine:      "parallel",
+			Nodes:       cfg.Nodes,
+			Policy:      policy.Name(),
+			Lookahead:   r.eligLat,
+			OutputQueue: cfg.Net.Output != nil,
+			LinkLat: func(src, dst int) simtime.Duration {
+				return cfg.Net.FrameLatency(netmodel.MinProbe(), src, dst)
+			},
 		})
 	}
 
@@ -218,6 +251,18 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 			qStartH := r.hostNow()
 			if r.obs != nil {
 				r.obs.QuantumStart(qi, guestStart, Q, qStartH)
+			}
+			r.qElig = r.eligLat > 0 && Q <= r.eligLat
+			if r.qElig {
+				r.nElig++
+			}
+			if r.prof != nil {
+				r.prof.BeginQuantum(qi, Q)
+				// Nodes already done stand at the barrier for the whole
+				// quantum; everyone else overwrites this on arrival.
+				for _, pn := range r.nodes {
+					pn.arrH = qStartH
+				}
 			}
 			r.gen++
 			for _, pn := range r.nodes {
@@ -272,7 +317,15 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		res.GuestTime = simtime.MaxGuest(res.GuestTime, pn.n.FinishedAt())
 	}
 	if r.obs != nil {
-		r.obs.RunEnd(obs.RunSummary{GuestTime: res.GuestTime, HostEnd: r.hostNow()})
+		r.obs.RunEnd(obs.RunSummary{
+			GuestTime:          res.GuestTime,
+			HostEnd:            r.hostNow(),
+			Quanta:             res.Stats.Quanta,
+			FastEligibleQuanta: r.nElig,
+		})
+	}
+	if r.prof != nil {
+		r.prof.RunEnd(res.GuestTime, r.hostNow())
 	}
 	return res, nil
 }
@@ -287,13 +340,16 @@ func wakeNode(pn *pnode) {
 	}
 }
 
-// arrive records one more node at the barrier (parked, at-limit or done).
-// Called with mu held. The last arrival releases the controller.
-func (r *prun) arrive() {
+// arrive records pn at the barrier (parked, at-limit or done). Called with
+// mu held. The last arrival releases the controller.
+func (r *prun) arrive(pn *pnode) {
 	r.atLimit++
 	if !r.haveArr {
 		r.haveArr = true
 		r.firstArr = r.hostNow()
+	}
+	if r.prof != nil {
+		pn.arrH = r.hostNow()
 	}
 	if r.atLimit == len(r.nodes) {
 		r.signalController()
@@ -326,6 +382,19 @@ func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qS
 		bStart = r.firstArr
 	}
 	r.stats.HostBarrier += end.Sub(bStart)
+	if r.prof != nil {
+		// Per-node wait: the node's own barrier arrival to the release
+		// happening now (a done node waits the whole quantum).
+		for i, pn := range r.nodes {
+			r.prof.NodeWait(i, end.Sub(pn.arrH))
+		}
+		r.prof.EndQuantum(prof.QuantumStats{
+			Span:       end.Sub(qStartH),
+			Barrier:    end.Sub(bStart),
+			Packets:    r.np,
+			Stragglers: r.str,
+		})
+	}
 	if r.obs != nil {
 		r.obs.QuantumEnd(obs.QuantumRecord{
 			Index:        qi,
@@ -336,6 +405,7 @@ func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qS
 			HostStart:    qStartH,
 			BarrierStart: bStart,
 			HostEnd:      end,
+			FastEligible: r.qElig,
 		})
 	}
 }
@@ -371,11 +441,17 @@ func (r *prun) runQuantum(pn *pnode, gen int) bool {
 		st := pn.n.Step()
 		switch st.Kind {
 		case guest.StepBusy:
-			if r.obs != nil {
+			if r.obs != nil || r.prof != nil {
 				h0 := r.hostNow()
 				//simlint:guestwall guest busy-time is deliberately exchanged for real CPU burn, scaled by spinPerBusy
 				spin(time.Duration(float64(st.To.Sub(st.From)) * pn.spinPerBusy))
-				r.obs.NodePhase(pn.n.ID(), obs.PhaseBusy, st.From, st.To, h0, r.hostNow())
+				h1 := r.hostNow()
+				if r.obs != nil {
+					r.obs.NodePhase(pn.n.ID(), obs.PhaseBusy, st.From, st.To, h0, h1)
+				}
+				if r.prof != nil {
+					r.prof.Segment(pn.n.ID(), prof.SegBusy, h1.Sub(h0))
+				}
 			} else {
 				//simlint:guestwall guest busy-time is deliberately exchanged for real CPU burn, scaled by spinPerBusy
 				spin(time.Duration(float64(st.To.Sub(st.From)) * pn.spinPerBusy))
@@ -403,7 +479,7 @@ func (r *prun) runQuantum(pn *pnode, gen int) bool {
 		case guest.StepLimit:
 			r.mu.Lock()
 			pn.state = pnAtLimit
-			r.arrive()
+			r.arrive(pn)
 			r.mu.Unlock()
 			return false
 
@@ -419,7 +495,7 @@ func (r *prun) runQuantum(pn *pnode, gen int) bool {
 			}
 			pn.state = pnDone
 			r.done++
-			r.arrive()
+			r.arrive(pn)
 			r.mu.Unlock()
 			return true
 		}
@@ -432,7 +508,7 @@ func (r *prun) runQuantum(pn *pnode, gen int) bool {
 func (r *prun) park(pn *pnode, gen int) bool {
 	r.mu.Lock()
 	pn.state = pnParked
-	r.arrive()
+	r.arrive(pn)
 	for pn.state == pnParked && r.gen == gen && !r.stop {
 		r.mu.Unlock()
 		<-pn.wake
@@ -467,6 +543,11 @@ func (r *prun) route(pn *pnode, f *pkt.Frame, tSend simtime.Guest) {
 		}
 		r.np++
 		r.stats.Packets++
+		if r.prof != nil {
+			// tD is still the ideal (pre-fault) arrival here, matching the
+			// deterministic engine's slack accounting.
+			r.prof.Frame(pn.n.ID(), dst, tD.Sub(tSend))
+		}
 		if fp := r.cfg.Faults; fp != nil {
 			d := fp.Decide(f.ID, pn.n.ID(), dst, tSend)
 			if d.Drop {

@@ -18,6 +18,7 @@ import (
 	"clustersim/internal/host"
 	"clustersim/internal/metrics"
 	"clustersim/internal/netmodel"
+	"clustersim/internal/prof"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
 	"clustersim/internal/workloads"
@@ -53,6 +54,13 @@ type Env struct {
 	// Q = 1µs run of the *same* fault plan. Part of the baseline memoization
 	// key via its canonical fingerprint.
 	Faults *faults.Plan
+	// Profiles, when non-nil, attaches a sync-overhead profiler to every run
+	// of the experiment, labelled "workload/nodes/config" (with the fault
+	// fingerprint appended when faults are active). The sweep's report is
+	// canonical regardless of Workers/IntraWorkers: registration order is
+	// erased by sorting and byte-identical duplicates (e.g. a baseline run
+	// shared across runners) collapse.
+	Profiles *prof.Sweep
 }
 
 // DefaultEnv returns the paper's evaluation environment: 2.6 GHz guests,
@@ -161,6 +169,13 @@ func runOne(env Env, w workloads.Workload, nodes int, spec Spec, traceQ, traceP 
 		TracePackets: traceP,
 		Workers:      env.IntraWorkers,
 		Faults:       env.Faults,
+	}
+	if env.Profiles != nil {
+		label := fmt.Sprintf("%s/%d/%s", w.Name, nodes, spec.Label)
+		if env.Faults != nil {
+			label += "/faults:" + env.Faults.Key()
+		}
+		cfg.Profiler = env.Profiles.New(label)
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {

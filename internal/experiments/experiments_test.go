@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
+	"clustersim/internal/prof"
 	"clustersim/internal/simtime"
 	"clustersim/internal/workloads"
 )
@@ -353,5 +355,39 @@ func TestScalingCurveMonotone(t *testing.T) {
 	}
 	if rows[1].MeanQ >= rows[0].MeanQ {
 		t.Errorf("settled quantum should shrink with scale: %v -> %v", rows[0].MeanQ, rows[1].MeanQ)
+	}
+}
+
+// TestGridProfileSweep: with Env.Profiles attached, every run of the grid
+// (ground truths included) lands in the sweep under its canonical label,
+// and the sweep's JSON is byte-identical whatever the worker count —
+// registration order is erased by sorting, and the memoized baseline's
+// duplicate profiles collapse.
+func TestGridProfileSweep(t *testing.T) {
+	run := func(workers int) ([]byte, *prof.SweepReport) {
+		env := DefaultEnv()
+		env.Workers = workers
+		env.Profiles = &prof.Sweep{}
+		w := workloads.Phases(3, 200*simtime.Microsecond, 16<<10)
+		if _, err := Grid(env, []workloads.Workload{w}, []int{2, 4},
+			[]Spec{FixedSpec("100", 100*simtime.Microsecond)}); err != nil {
+			t.Fatal(err)
+		}
+		rep := env.Profiles.Report()
+		return rep.JSON(), rep
+	}
+	seqJSON, rep := run(1)
+	labels := map[string]bool{}
+	for _, r := range rep.Runs {
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"synthetic.phases/2/1", "synthetic.phases/2/100", "synthetic.phases/4/1", "synthetic.phases/4/100"} {
+		if !labels[want] {
+			t.Errorf("sweep missing run %q (have %v)", want, labels)
+		}
+	}
+	parJSON, _ := run(4)
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Error("sweep report bytes differ between Workers=1 and Workers=4")
 	}
 }

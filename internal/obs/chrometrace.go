@@ -173,6 +173,20 @@ func (t *ChromeTracer) QuantumEnd(rec QuantumRecord) {
 	}
 	t.emit(traceEvent{Name: "quantum", Cat: traceCatEngine, Ph: "E", PID: tracePID,
 		TID: traceCtrl, TS: hostTS(rec.HostEnd)})
+	// Counter tracks: Perfetto renders each "C" name as a chart over time,
+	// turning the per-quantum series (quantum size, traffic, fast-path
+	// eligibility) into live diagnostics alongside the span tracks.
+	ts := hostTS(rec.HostEnd)
+	t.emit(traceEvent{Name: "quantum_size", Cat: traceCatEngine, Ph: "C", PID: tracePID,
+		TID: traceCtrl, TS: ts, Args: map[string]any{"Q_us": durTS(rec.Q)}})
+	t.emit(traceEvent{Name: "traffic", Cat: traceCatEngine, Ph: "C", PID: tracePID,
+		TID: traceCtrl, TS: ts, Args: map[string]any{"packets": rec.Packets, "stragglers": rec.Stragglers}})
+	elig := 0
+	if rec.FastEligible {
+		elig = 1
+	}
+	t.emit(traceEvent{Name: "fastpath_eligible", Cat: traceCatEngine, Ph: "C", PID: tracePID,
+		TID: traceCtrl, TS: ts, Args: map[string]any{"eligible": elig}})
 }
 
 // Packet marks a delivery on the controller track. Timestamping uses the

@@ -61,6 +61,13 @@ type RunSummary struct {
 	GuestTime simtime.Guest
 	// HostEnd is the host clock at the end of the run.
 	HostEnd simtime.Host
+	// Quanta is the number of synchronization quanta the run executed.
+	Quanta int
+	// FastEligibleQuanta counts quanta eligible for the intra-quantum fast
+	// path (Q at most the minimum network latency, no packet tap).
+	// Eligibility is a property of the configuration and policy trajectory,
+	// not of the Workers setting, so it is identical across engines.
+	FastEligibleQuanta int
 }
 
 // QuantumRecord describes one completed synchronization quantum. It is also
@@ -76,6 +83,11 @@ type QuantumRecord struct {
 	// (the span BarrierStart..HostEnd is pure synchronization overhead).
 	BarrierStart simtime.Host
 	HostEnd      simtime.Host // barrier release that ended the quantum
+	// FastEligible reports whether this quantum was eligible for the
+	// intra-quantum fast path (Q <= minimum network latency, no packet
+	// tap). Deliberately independent of the Workers gate so records stay
+	// bit-identical across worker counts and engine paths.
+	FastEligible bool
 }
 
 // PacketRecord describes one frame delivery. It is also the element type of

@@ -28,12 +28,15 @@ func sampleRun(o Observer) {
 		HostStart:    0,
 		BarrierStart: simtime.Host(100 * simtime.Microsecond),
 		HostEnd:      simtime.Host(110 * simtime.Microsecond),
+		FastEligible: true,
 	})
 	o.NodePhase(0, PhaseDone, simtime.Guest(10*simtime.Microsecond), simtime.Guest(10*simtime.Microsecond),
 		simtime.Host(110*simtime.Microsecond), simtime.Host(110*simtime.Microsecond))
 	o.RunEnd(RunSummary{
-		GuestTime: simtime.Guest(10 * simtime.Microsecond),
-		HostEnd:   simtime.Host(110 * simtime.Microsecond),
+		GuestTime:          simtime.Guest(10 * simtime.Microsecond),
+		HostEnd:            simtime.Host(110 * simtime.Microsecond),
+		Quanta:             1,
+		FastEligibleQuanta: 1,
 	})
 }
 
@@ -58,7 +61,7 @@ func TestChromeTracerRoundTrip(t *testing.T) {
 	for i, ev := range events {
 		phases[ev.Ph]++
 		switch ev.Ph {
-		case "M", "X", "B", "E", "i":
+		case "M", "X", "B", "E", "i", "C":
 		default:
 			t.Errorf("event %d has unexpected phase %q", i, ev.Ph)
 		}
@@ -69,9 +72,31 @@ func TestChromeTracerRoundTrip(t *testing.T) {
 			t.Errorf("event %d has no name", i)
 		}
 	}
-	for _, ph := range []string{"M", "X", "B", "E", "i"} {
+	for _, ph := range []string{"M", "X", "B", "E", "i", "C"} {
 		if phases[ph] == 0 {
 			t.Errorf("no %q events in trace: %v", ph, phases)
+		}
+	}
+	// The counter tracks must carry numeric values per quantum.
+	counters := map[string]bool{}
+	for _, ev := range events {
+		if ev.Ph != "C" {
+			continue
+		}
+		counters[ev.Name] = true
+		if len(ev.Args) == 0 {
+			t.Errorf("counter %q has no args", ev.Name)
+		}
+		//simlint:maporder per-entry type check; no ordered output
+		for k, v := range ev.Args {
+			if _, ok := v.(float64); !ok {
+				t.Errorf("counter %q arg %q is %T, want number", ev.Name, k, v)
+			}
+		}
+	}
+	for _, want := range []string{"quantum_size", "traffic", "fastpath_eligible"} {
+		if !counters[want] {
+			t.Errorf("missing counter track %q (have %v)", want, counters)
 		}
 	}
 	// The busy segment must carry its host-time extent in microseconds.

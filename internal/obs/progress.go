@@ -31,6 +31,7 @@ type Progress struct {
 	lastQuanta int64
 
 	quanta     int64
+	fastQuanta int64 // quanta eligible for the intra-quantum fast path
 	packets    int64
 	stragglers int64
 	guest      simtime.Guest
@@ -78,6 +79,9 @@ func (p *Progress) QuantumEnd(rec QuantumRecord) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.quanta++
+	if rec.FastEligible {
+		p.fastQuanta++
+	}
 	p.packets += int64(rec.Packets)
 	p.stragglers += int64(rec.Stragglers)
 	p.guest = rec.Start.Add(rec.Q)
@@ -120,6 +124,10 @@ func (p *Progress) report(final bool) {
 	if p.packets > 0 {
 		strag = 100 * float64(p.stragglers) / float64(p.packets)
 	}
-	fmt.Fprintf(p.w, "%s: guest %v%s | %d quanta (%.0f/s) | Q=%v | stragglers %.1f%%\n",
-		label, p.guest, pct, p.quanta, rate, p.curQ, strag)
+	fast := 0.0
+	if p.quanta > 0 {
+		fast = 100 * float64(p.fastQuanta) / float64(p.quanta)
+	}
+	fmt.Fprintf(p.w, "%s: guest %v%s | %d quanta (%.0f/s) | Q=%v | fast %.0f%% | stragglers %.1f%%\n",
+		label, p.guest, pct, p.quanta, rate, p.curQ, fast, strag)
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/bits"
 	"net"
 	"net/http"
@@ -47,13 +48,17 @@ type HistBucket struct {
 	Count  int64
 }
 
-// HistSnapshot is a copyable view of a Histogram.
+// HistSnapshot is a copyable view of a Histogram. P50/P95/P99 are quantile
+// estimates interpolated within the power-of-two buckets (see Quantile).
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
 	Min     int64        `json:"min"`
 	Max     int64        `json:"max"`
 	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P95     int64        `json:"p95"`
+	P99     int64        `json:"p99"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -73,7 +78,68 @@ func (h *Histogram) snapshot() HistSnapshot {
 		}
 		s.Buckets = append(s.Buckets, HistBucket{Lo: lo, Hi: hi, Count: c})
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the observed samples by
+// locating the bucket holding the ceil(q*count)-th smallest sample and
+// interpolating linearly by rank inside it. Buckets are clamped to the
+// observed [Min, Max] range first, so degenerate distributions (all samples
+// equal) report the exact value and the extreme quantiles never escape the
+// observed range. q <= 0 returns Min, q >= 1 returns Max, and an empty
+// histogram returns 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > s.Count {
+		target = s.Count
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		if cum+b.Count < target {
+			cum += b.Count
+			continue
+		}
+		lo, hi := b.Lo, b.Hi
+		if lo == 0 && hi == 0 {
+			// The v <= 0 bucket carries no range of its own; it spans from
+			// the observed minimum up to (but excluding) 1.
+			lo, hi = s.Min, 1
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi > s.Max+1 {
+			hi = s.Max + 1
+		}
+		if hi <= lo {
+			return lo
+		}
+		frac := float64(target-cum) / float64(b.Count)
+		v := int64(float64(lo) + frac*float64(hi-lo))
+		if v >= hi {
+			v = hi - 1
+		}
+		if v < lo {
+			v = lo
+		}
+		return v
+	}
+	return s.Max
 }
 
 // MarshalJSON renders buckets as an ordered "[lo,hi)": count map.
@@ -175,6 +241,12 @@ func (r *Registry) QuantumEnd(rec QuantumRecord) {
 	r.counters["packets"] += int64(rec.Packets)
 	if rec.Packets == 0 {
 		r.counters["silent_quanta"]++
+	}
+	if rec.FastEligible {
+		r.counters["fastpath_eligible_quanta"]++
+		r.gauges["fastpath_eligible"] = 1
+	} else {
+		r.gauges["fastpath_eligible"] = 0
 	}
 	r.hist("quantum_ns").Observe(int64(rec.Q))
 	r.hist("packets_per_quantum").Observe(int64(rec.Packets))
@@ -281,7 +353,8 @@ func (r *Registry) Text() string {
 	sort.Strings(hkeys)
 	for _, k := range hkeys {
 		h := s.Histograms[k]
-		fmt.Fprintf(&b, "hist %s count=%d min=%d mean=%.1f max=%d\n", k, h.Count, h.Min, h.Mean, h.Max)
+		fmt.Fprintf(&b, "hist %s count=%d min=%d mean=%.1f p50=%d p95=%d p99=%d max=%d\n",
+			k, h.Count, h.Min, h.Mean, h.P50, h.P95, h.P99, h.Max)
 	}
 	for i := range s.NodeSent {
 		fmt.Fprintf(&b, "node %d sent=%d recv=%d\n", i, s.NodeSent[i], s.NodeRecv[i])

@@ -1,0 +1,87 @@
+package prof
+
+import "math/bits"
+
+// Hist is a power-of-two histogram over signed int64 samples. Unlike the
+// positive-only obs.Registry histogram it mirrors the bucket ladder across
+// zero, because lookahead slack is naturally signed (negative slack = a
+// frame that could arrive inside the quantum it was sent in).
+//
+// Bucket layout: sample v > 0 lands in positive bucket bits.Len64(v), i.e.
+// [2^(i-1), 2^i); v == 0 lands in the zero bucket [0, 1); v < 0 lands in
+// negative bucket bits.Len64(-v), i.e. (-2^i, -2^(i-1)].
+type Hist struct {
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	zero  int64
+	pos   [65]int64
+	neg   [65]int64
+}
+
+// Observe folds one sample into the histogram.
+func (h *Hist) Observe(v int64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	switch {
+	case v > 0:
+		h.pos[bits.Len64(uint64(v))]++
+	case v < 0:
+		h.neg[bits.Len64(uint64(-v))]++
+	default:
+		h.zero++
+	}
+}
+
+// Bucket is one occupied histogram bucket covering the half-open interval
+// [Lo, Hi).
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistData is the float-free snapshot of a Hist embedded in reports.
+// Buckets are ordered ascending by Lo, so encoding is deterministic.
+type HistData struct {
+	Count   int64    `json:"count"`
+	SumNS   int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a copyable, deterministically ordered view of h.
+func (h *Hist) Snapshot() HistData {
+	s := HistData{Count: h.count, SumNS: h.sum, Min: h.min, Max: h.max}
+	for i := 64; i >= 1; i-- {
+		if c := h.neg[i]; c != 0 {
+			// negative bucket i covers (-2^i, -2^(i-1)] == [1-2^i, 1-2^(i-1))
+			s.Buckets = append(s.Buckets, Bucket{
+				Lo:    1 - (int64(1) << uint(i)),
+				Hi:    1 - (int64(1) << uint(i-1)),
+				Count: c,
+			})
+		}
+	}
+	if h.zero != 0 {
+		s.Buckets = append(s.Buckets, Bucket{Lo: 0, Hi: 1, Count: h.zero})
+	}
+	for i := 1; i <= 64; i++ {
+		if c := h.pos[i]; c != 0 {
+			s.Buckets = append(s.Buckets, Bucket{
+				Lo:    int64(1) << uint(i-1),
+				Hi:    int64(1) << uint(i),
+				Count: c,
+			})
+		}
+	}
+	return s
+}

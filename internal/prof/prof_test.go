@@ -1,0 +1,202 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"clustersim/internal/simtime"
+)
+
+func TestHistSignedBuckets(t *testing.T) {
+	h := &Hist{}
+	for _, v := range []int64{-5, -4, -1, 0, 1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 || s.Min != -5 || s.Max != 1000 || s.SumNS != 996 {
+		t.Fatalf("summary: %+v", s)
+	}
+	want := []Bucket{
+		{Lo: -7, Hi: -3, Count: 2}, // -5, -4 in (-8,-4]
+		{Lo: -1, Hi: 0, Count: 1},  // -1 in (-2,-1]
+		{Lo: 0, Hi: 1, Count: 1},   // 0
+		{Lo: 1, Hi: 2, Count: 1},   // 1
+		{Lo: 2, Hi: 4, Count: 2},   // 2, 3
+		{Lo: 512, Hi: 1024, Count: 1},
+	}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Fatalf("buckets:\n got %+v\nwant %+v", s.Buckets, want)
+	}
+}
+
+func TestCauseClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		meta RunMeta
+		q    simtime.Duration
+		want Cause
+	}{
+		{"engaged", RunMeta{Lookahead: 1000}, 1000, CauseEngaged},
+		{"q-exceeds", RunMeta{Lookahead: 1000}, 1001, CauseQExceedsLookahead},
+		{"tap", RunMeta{Lookahead: 1000, OutputQueue: true}, 10, CauseOutputTap},
+		{"no-lookahead", RunMeta{Lookahead: 0}, 10, CauseNoLookahead},
+	}
+	for _, c := range cases {
+		p := New()
+		p.RunStart(c.meta)
+		p.BeginQuantum(0, c.q)
+		p.EndQuantum(QuantumStats{})
+		rep := p.Report()
+		if len(rep.Engagement.Causes) != 1 || rep.Engagement.Causes[0].Cause != c.want.String() {
+			t.Errorf("%s: causes = %+v, want 1x %q", c.name, rep.Engagement.Causes, c.want)
+		}
+		wantElig := int64(0)
+		if c.want == CauseEngaged {
+			wantElig = 1
+		}
+		if rep.Engagement.EligibleQuanta != wantElig {
+			t.Errorf("%s: eligible = %d, want %d", c.name, rep.Engagement.EligibleQuanta, wantElig)
+		}
+	}
+}
+
+// fakeProfile drives a profiler through a tiny deterministic run.
+func fakeProfile() *Profiler {
+	p := New()
+	p.RunStart(RunMeta{
+		Engine: "deterministic", Nodes: 2, Policy: "fixed", Lookahead: 1000,
+		LinkLat: func(s, d int) simtime.Duration {
+			if s == 0 && d == 1 {
+				return 1000
+			}
+			return 2000
+		},
+	})
+	p.BeginQuantum(0, 500)
+	p.Segment(0, SegBusy, 400)
+	p.Segment(1, SegIdle, 300)
+	p.Frame(0, 1, 1000) // slack +500
+	p.Frame(1, 0, 2000) // slack +1500
+	p.NodeWait(0, 0)
+	p.NodeWait(1, 100)
+	p.EndQuantum(QuantumStats{Span: 600, Routing: 40, Barrier: 20, Packets: 2})
+	p.BeginQuantum(1, 4000)
+	p.Segment(0, SegBusy, 900)
+	p.Segment(1, SegIdle, -50) // straggler refund
+	p.Frame(0, 1, 1000)        // slack -3000: limiting link
+	p.NodeWait(0, 10)
+	p.NodeWait(1, 0)
+	p.EndQuantum(QuantumStats{Span: 4100, Routing: 20, Barrier: 20, Packets: 1, Stragglers: 1})
+	p.RunEnd(4500, 4700)
+	return p
+}
+
+func TestReportAttribution(t *testing.T) {
+	rep := fakeProfile().Report()
+	if rep.Schema != Schema || !rep.Complete {
+		t.Fatalf("header: %+v", rep)
+	}
+	if rep.Quanta != 2 || rep.Packets != 3 || rep.Stragglers != 1 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.Engagement.EligibleQuanta != 1 || rep.Engagement.EligibleHostNS != 600 {
+		t.Fatalf("engagement: %+v", rep.Engagement)
+	}
+	want := Totals{ComputeNS: 1300, IdleNS: 250, WaitNS: 110, RoutingNS: 60, BarrierNS: 40}
+	if rep.Totals != want {
+		t.Fatalf("totals: got %+v want %+v", rep.Totals, want)
+	}
+	if len(rep.PerNode) != 2 || rep.PerNode[0].ComputeNS != 1300 || rep.PerNode[1].IdleNS != 250 || rep.PerNode[1].WaitNS != 100 {
+		t.Fatalf("per-node: %+v", rep.PerNode)
+	}
+	if len(rep.Links) != 2 {
+		t.Fatalf("links: %+v", rep.Links)
+	}
+	l01 := rep.Links[0]
+	if l01.Src != 0 || l01.Dst != 1 || l01.Frames != 2 || l01.SlackMinNS != -3000 || l01.NegSlackFrames != 1 || l01.StaticLatNS != 1000 {
+		t.Fatalf("link 0->1: %+v", l01)
+	}
+	// The limiting ranking must put the negative-slack link first.
+	if len(rep.LimitingLinks) != 2 || rep.LimitingLinks[0].Src != 0 || rep.LimitingLinks[0].Dst != 1 || rep.LimitingLinks[0].SlackNS != -3000 {
+		t.Fatalf("limiting: %+v", rep.LimitingLinks)
+	}
+	// Exactly one directed link (0->1) holds the static minimum latency.
+	if rep.MinLatencyTied != 1 || len(rep.MinLatencyLinks) != 1 || rep.MinLatencyLinks[0].LatencyNS != 1000 {
+		t.Fatalf("min-latency links: tied=%d %+v", rep.MinLatencyTied, rep.MinLatencyLinks)
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	a := fakeProfile().Report().JSON()
+	b := fakeProfile().Report().JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical profiles produced different JSON:\n%s\nvs\n%s", a, b)
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("canonical JSON must end with a newline")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := fakeProfile().Report()
+	path := t.TempDir() + "/r.json"
+	if err := rep.WriteFiles(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.JSON(), rep.JSON()) {
+		t.Fatal("report did not round-trip through JSON")
+	}
+	if sch, err := DetectSchema(path); err != nil || sch != Schema {
+		t.Fatalf("DetectSchema = %q, %v", sch, err)
+	}
+}
+
+func TestSweepOrderIndependent(t *testing.T) {
+	mk := func(labels []string) []byte {
+		s := NewSweep()
+		for _, l := range labels {
+			p := s.New(l)
+			p.RunStart(RunMeta{Engine: "deterministic", Nodes: 1, Policy: l})
+			p.BeginQuantum(0, 10)
+			p.EndQuantum(QuantumStats{Span: 10})
+			p.RunEnd(10, 12)
+		}
+		return s.Report().JSON()
+	}
+	a := mk([]string{"b/run", "a/run", "c/run"})
+	b := mk([]string{"c/run", "b/run", "a/run"})
+	if !bytes.Equal(a, b) {
+		t.Fatal("sweep report depends on registration order")
+	}
+	path := t.TempDir() + "/s.json"
+	if err := os.WriteFile(path, a, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := LoadSweep(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Runs) != 3 || sr.Runs[0].Label != "a/run" {
+		t.Fatalf("sweep runs: %+v", sr.Runs)
+	}
+}
+
+func TestSweepCollapsesIdenticalDuplicates(t *testing.T) {
+	s := NewSweep()
+	for i := 0; i < 3; i++ {
+		p := s.New("same/label")
+		p.RunStart(RunMeta{Engine: "deterministic", Nodes: 1, Policy: "p"})
+		p.BeginQuantum(0, 10)
+		p.EndQuantum(QuantumStats{Span: 10})
+		p.RunEnd(10, 12)
+	}
+	if got := s.Report(); len(got.Runs) != 1 {
+		t.Fatalf("want 1 collapsed run, got %d", len(got.Runs))
+	}
+}
