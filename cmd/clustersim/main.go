@@ -45,7 +45,8 @@ var (
 	spinFlag     = flag.Float64("spin", 0.02, "real ns of CPU burned per guest busy ns (parallel mode)")
 	workersFlag  = flag.Int("workers", 0, "cap on host cores used, 0 = all (sets GOMAXPROCS; mainly for taming -parallel runs)")
 	traceFlag    = flag.String("tracefile", "", "run a JSON communication trace (workloads.TraceFile schema) instead of -workload; -nodes must match its rank count")
-	intraFlag    = flag.Int("intra-workers", 0, "intra-quantum engine workers: ground-truth quanta (Q ≤ min network latency) step their nodes on this many goroutines; 0 = classic sequential engine; results are identical for any value")
+	intraFlag    = flag.Int("intra-workers", 0, "intra-quantum engine workers: fast-path-safe nodes are stepped on this many goroutines; 0 = classic sequential engine; results are identical for any value")
+	lookFlag     = flag.String("lookahead", "matrix", "fast-path lookahead mode: matrix probes per-link lookahead and fast-walks loose partitions even when Q exceeds the global minimum latency; scalar restores the all-or-nothing Q ≤ min gate; results are identical either way")
 	cpuProfFlag  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfFlag  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 
@@ -279,6 +280,10 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	lookahead, err := parseLookahead(*lookFlag)
+	if err != nil {
+		return err
+	}
 
 	observer, registry, obsCleanup, err := observability(env.MaxGuest)
 	if err != nil {
@@ -309,7 +314,7 @@ func run() (err error) {
 	}
 
 	if *parallelFlag {
-		return runParallel(w, policy, env, observer, profiler, plan)
+		return runParallel(w, policy, env, observer, profiler, plan, lookahead)
 	}
 
 	cfg := cluster.Config{
@@ -326,6 +331,7 @@ func run() (err error) {
 		Workers:      *intraFlag,
 		Faults:       plan,
 		Profiler:     profiler,
+		Lookahead:    lookahead,
 	}
 	res, err := cluster.Run(cfg)
 	if err != nil {
@@ -344,7 +350,19 @@ func run() (err error) {
 	return nil
 }
 
-func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer, profiler *prof.Profiler, plan *faults.Plan) error {
+// parseLookahead maps the -lookahead flag onto the engine mode.
+func parseLookahead(s string) (cluster.LookaheadMode, error) {
+	switch s {
+	case "matrix", "":
+		return cluster.LookaheadMatrix, nil
+	case "scalar":
+		return cluster.LookaheadScalar, nil
+	default:
+		return 0, fmt.Errorf("-lookahead wants matrix or scalar, got %q", s)
+	}
+}
+
+func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer, profiler *prof.Profiler, plan *faults.Plan, lookahead cluster.LookaheadMode) error {
 	res, err := cluster.RunParallel(cluster.ParallelConfig{
 		Nodes:            *nodesFlag,
 		Guest:            env.Guest,
@@ -356,6 +374,7 @@ func runParallel(w workloads.Workload, policy func() quantum.Policy, env experim
 		Observer:         observer,
 		Faults:           plan,
 		Profiler:         profiler,
+		Lookahead:        lookahead,
 	})
 	if err != nil {
 		return err
@@ -399,6 +418,19 @@ func printStats(st cluster.Stats) {
 	}
 	fmt.Printf("stragglers   %d (%d snapped to the next quantum), total delay %v\n",
 		st.Stragglers, st.QuantumSnaps, st.StragglerDelay)
+	if st.FastFullQuanta > 0 || st.FastPartialQuanta > 0 {
+		line := fmt.Sprintf("fast path    %d/%d quanta fully engaged", st.FastFullQuanta, st.Quanta)
+		if st.FastPartialQuanta > 0 {
+			// Among partially engaged quanta the engaged partitions are the
+			// loose singletons: average k fast of n total partitions.
+			kSum := st.FastNodeQuanta - *nodesFlag*st.FastFullQuanta
+			line += fmt.Sprintf(", %d partially engaged (avg %.1f of %.1f partitions fast)",
+				st.FastPartialQuanta,
+				float64(kSum)/float64(st.FastPartialQuanta),
+				float64(st.PartialPartitions)/float64(st.FastPartialQuanta))
+		}
+		fmt.Println(line)
+	}
 	if st.HostBusy > 0 || st.HostBarrier > 0 {
 		fmt.Printf("host split   busy %v, idle %v, barriers %v (summed across nodes)\n",
 			st.HostBusy, st.HostIdle, st.HostBarrier)

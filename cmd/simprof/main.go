@@ -149,11 +149,42 @@ func renderReport(w *os.File, name string, r *prof.Report) {
 	}
 
 	fmt.Fprintf(w, "\nfast path\n")
-	fmt.Fprintf(w, "  eligible %d/%d quanta (%s), spanning %s host (%s)\n",
+	fmt.Fprintf(w, "  fully engaged %d/%d quanta (%s), spanning %s host (%s)\n",
 		r.Engagement.EligibleQuanta, r.Quanta, strings.TrimSpace(pct(r.Engagement.EligibleQuanta, r.Quanta)),
 		dur(r.Engagement.EligibleHostNS), strings.TrimSpace(pct(r.Engagement.EligibleHostNS, r.HostNS)))
+	if r.Engagement.PartialQuanta > 0 {
+		fmt.Fprintf(w, "  partially engaged %d/%d quanta (%s), spanning %s host (%s)\n",
+			r.Engagement.PartialQuanta, r.Quanta, strings.TrimSpace(pct(r.Engagement.PartialQuanta, r.Quanta)),
+			dur(r.Engagement.PartialHostNS), strings.TrimSpace(pct(r.Engagement.PartialHostNS, r.HostNS)))
+	}
+	if r.Engagement.NodeQuanta > 0 {
+		fmt.Fprintf(w, "  node-level engagement %d/%d node-quanta fast-walked (%s)\n",
+			r.Engagement.FastNodeQuanta, r.Engagement.NodeQuanta,
+			strings.TrimSpace(pct(r.Engagement.FastNodeQuanta, r.Engagement.NodeQuanta)))
+	}
 	for _, c := range r.Engagement.Causes {
 		fmt.Fprintf(w, "  cause %-22s %10d quanta %s\n", c.Cause, c.Quanta, pct(c.Quanta, r.Quanta))
+	}
+
+	if len(r.Partitions) > 0 {
+		fmt.Fprintf(w, "\nlookahead partition structure, one row per level the run's quanta hit\n")
+		fmt.Fprintf(w, "  %14s %10s %6s %6s %10s  %s\n", "max tight lat", "partitions", "tight", "fast", "quanta", "tightest binding links")
+		for _, lv := range r.Partitions {
+			links := make([]string, 0, 3)
+			for i, l := range lv.TightLinks {
+				if i == 3 {
+					break
+				}
+				links = append(links, prof.LinkName(l.Src, l.Dst))
+			}
+			more := ""
+			if lv.TightLinkCount > int64(len(links)) {
+				more = fmt.Sprintf(", … %d total", lv.TightLinkCount)
+			}
+			fmt.Fprintf(w, "  %14s %10d %6d %6d %10d  %s%s\n",
+				dur(lv.MaxTightLatNS), lv.Partitions, lv.TightPartitions, lv.FastNodes,
+				lv.Quanta, strings.Join(links, ", "), more)
+		}
 	}
 
 	t := r.Totals
@@ -272,12 +303,16 @@ func diffReports(w *os.File, nameA, nameB string, a, b *prof.Report) {
 	out.WriteString(delta("lookahead", a.LookaheadNS, b.LookaheadNS, true))
 	out.WriteString(delta("eligible quanta", a.Engagement.EligibleQuanta, b.Engagement.EligibleQuanta, false))
 	out.WriteString(delta("eligible host", a.Engagement.EligibleHostNS, b.Engagement.EligibleHostNS, true))
+	out.WriteString(delta("partial quanta", a.Engagement.PartialQuanta, b.Engagement.PartialQuanta, false))
+	out.WriteString(delta("partial host", a.Engagement.PartialHostNS, b.Engagement.PartialHostNS, true))
+	out.WriteString(delta("fast node-quanta", a.Engagement.FastNodeQuanta, b.Engagement.FastNodeQuanta, false))
 	out.WriteString(delta("compute", a.Totals.ComputeNS, b.Totals.ComputeNS, true))
 	out.WriteString(delta("idle", a.Totals.IdleNS, b.Totals.IdleNS, true))
 	out.WriteString(delta("barrier wait", a.Totals.WaitNS, b.Totals.WaitNS, true))
 	out.WriteString(delta("routing", a.Totals.RoutingNS, b.Totals.RoutingNS, true))
 	out.WriteString(delta("barrier cost", a.Totals.BarrierNS, b.Totals.BarrierNS, true))
 	diffCauses(&out, a, b)
+	diffPartitions(&out, a, b)
 	diffLinks(&out, a, b)
 	if out.Len() == 0 {
 		fmt.Fprintln(w, "  reports are equivalent")
@@ -310,6 +345,56 @@ func diffCauses(out *strings.Builder, a, b *prof.Report) {
 	for _, n := range names {
 		out.WriteString(delta("cause "+n, ca[n], cb[n], false))
 	}
+}
+
+// diffPartitions compares the lookahead partition structure level by level:
+// a quantum-policy or topology change shows up as levels appearing,
+// vanishing, or shifting quanta between structures.
+func diffPartitions(out *strings.Builder, a, b *prof.Report) {
+	index := func(r *prof.Report) map[int64]prof.PartitionLevel {
+		m := make(map[int64]prof.PartitionLevel, len(r.Partitions))
+		for _, lv := range r.Partitions {
+			m[lv.MaxTightLatNS] = lv
+		}
+		return m
+	}
+	ia, ib := index(a), index(b)
+	levels := make([]int64, 0, len(ia)+len(ib))
+	//simlint:maporder keys are collected then sorted before rendering
+	for lv := range ia {
+		levels = append(levels, lv)
+	}
+	//simlint:maporder keys are collected then sorted before rendering
+	for lv := range ib {
+		if _, ok := ia[lv]; !ok {
+			levels = append(levels, lv)
+		}
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	show := func(lv prof.PartitionLevel) string {
+		return fmt.Sprintf("%d partitions (%d tight, %d fast nodes), %d quanta",
+			lv.Partitions, lv.TightPartitions, lv.FastNodes, lv.Quanta)
+	}
+	for _, l := range levels {
+		la, inA := ia[l]
+		lb, inB := ib[l]
+		name := fmt.Sprintf("partition level %s", dur(l))
+		switch {
+		case inA && !inB:
+			fmt.Fprintf(out, "  %-22s only in first: %s\n", name, show(la))
+		case !inA && inB:
+			fmt.Fprintf(out, "  %-22s only in second: %s\n", name, show(lb))
+		case !partitionLevelsEqual(la, lb):
+			fmt.Fprintf(out, "  %-22s %s -> %s\n", name, show(la), show(lb))
+		}
+	}
+}
+
+// partitionLevelsEqual compares everything the diff renders (the truncated
+// link ranking is static per level and elided).
+func partitionLevelsEqual(a, b prof.PartitionLevel) bool {
+	return a.Partitions == b.Partitions && a.TightPartitions == b.TightPartitions &&
+		a.FastNodes == b.FastNodes && a.Quanta == b.Quanta && a.TightLinkCount == b.TightLinkCount
 }
 
 // diffLinks reports per-link minimum-slack movement, the signal that a

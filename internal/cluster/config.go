@@ -88,11 +88,32 @@ type Config struct {
 	// Workers == 0, whose streams interleave in host-event order (the
 	// per-record contents and all aggregates still match exactly).
 	Workers int
+	// Lookahead selects how the fast path's safety bound is computed. The
+	// default (LookaheadMatrix) probes the per-link lookahead matrix and
+	// partitions the cluster per quantum (DESIGN.md §11), so quanta above
+	// the global minimum latency can still fast-walk the loose part of the
+	// cluster; LookaheadScalar is the escape hatch restoring the original
+	// all-or-nothing Q <= MinLatency gate. The choice never changes
+	// simulation results — only which engine path runs a quantum and how
+	// engagement is accounted (the graded Stats fields and profiler causes
+	// are zero/boolean under LookaheadScalar).
+	Lookahead LookaheadMode
 	// onQuantumMode, when non-nil, is called at the start of each quantum
 	// with whether the parallel-safe fast path ran it. Package-internal
 	// test hook.
 	onQuantumMode func(fast bool)
 }
+
+// LookaheadMode selects the fast-path safety-bound computation.
+type LookaheadMode int
+
+const (
+	// LookaheadMatrix (the default) probes a per-link lookahead matrix and
+	// derives a lookahead-closed partitioning per quantum.
+	LookaheadMatrix LookaheadMode = iota
+	// LookaheadScalar restores the scalar Q <= MinLatency gate.
+	LookaheadScalar
+)
 
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
@@ -162,6 +183,21 @@ type Stats struct {
 	// SilentQuanta is the number of quanta that carried no packets (the
 	// np==0 branch of Algorithm 1).
 	SilentQuanta int
+	// FastFullQuanta counts quanta where the whole cluster was fast-path
+	// eligible (Q at or below every link's lookahead) and FastPartialQuanta
+	// those where only part of it was: at least one lookahead partition
+	// loose, at least one tight (always zero under LookaheadScalar).
+	// Eligibility state, not execution state: the counts are identical for
+	// every Workers value including the classic engine.
+	FastFullQuanta    int
+	FastPartialQuanta int
+	// FastNodeQuanta sums the fast-walkable node count over all quanta, so
+	// FastNodeQuanta/(Nodes*Quanta) is the run's node-level engagement
+	// fraction. PartialPartitions sums the partition counts over the
+	// partially engaged quanta (the engaged partitions among them are the
+	// loose singletons, one per fast node).
+	FastNodeQuanta    int
+	PartialPartitions int
 }
 
 // observeQuantum folds one quantum's duration and traffic into the

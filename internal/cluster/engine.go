@@ -117,25 +117,44 @@ type engine struct {
 	// fault-free path byte-identical to an engine without the feature.
 	slow []float64
 
-	// Intra-quantum fast path (DESIGN.md §7). minSafeLat > 0 means the
-	// configuration admits it: any quantum Q <= minSafeLat is provably free
-	// of intra-quantum arrivals, so nodes are walked independently (pool
-	// fans them out when Workers >= 2) and frames route at the barrier.
-	minSafeLat simtime.Duration
-	// eligLat is the fast-path eligibility lookahead: minSafeLat's value
-	// regardless of the Workers gate, so eligibility accounting (profiler
-	// causes, QuantumRecord.FastEligible) is identical for every Workers
-	// setting including the classic engine. Zero when the output-queue tap
-	// or the topology rules the fast path out entirely.
+	// Intra-quantum fast path (DESIGN.md §7, §11). la is the per-link
+	// lookahead structure: the probed node-pair latency matrix and the
+	// lookahead-closed partitionings it induces per quantum size. It is
+	// built for every configuration that admits lookahead (matrix mode, no
+	// output tap, positive bounds) — the classic engine included — so
+	// eligibility accounting, partition grades and the graded Stats fields
+	// never depend on the Workers gate. Nil in scalar mode or when the
+	// topology rules lookahead out.
+	la *lookahead
+	// eligLat is the scalar eligibility lookahead (la.min in matrix mode,
+	// Net.MinLatency in scalar mode): any quantum Q <= eligLat is provably
+	// free of intra-quantum arrivals cluster-wide. Zero when the
+	// output-queue tap or the topology rules the fast path out entirely.
 	eligLat simtime.Duration
-	qElig   bool // current quantum's eligibility
+	qElig   bool // current quantum's full (cluster-wide) eligibility
 	nElig   int  // eligible quanta so far
 	pool    *workerpool.Pool
-	walks   []nodeWalk
+	// walks is non-nil iff Workers >= 1 selected the fast-path engine; its
+	// per-node buffers serve both the fully-engaged walk and the graded
+	// (partitioned) quantum.
+	walks []nodeWalk
 	// walkFn is the per-node walk closure, built once so the per-quantum
 	// pool dispatch stays allocation-free (it reads e.qStartH, which run()
-	// sets to the quantum's barrier-release host time).
-	walkFn func(int)
+	// sets to the quantum's barrier-release host time). looseFn is its
+	// graded-quantum sibling, indexing through the current partitioning's
+	// loose-node list.
+	walkFn  func(int)
+	looseFn func(int)
+	// curPartit is the current quantum's partitioning (nil when unknown);
+	// curPart aliases its node->partition map during a graded quantum's
+	// tight-partition walks — the signal for sendFrame to defer
+	// cross-partition frames to the barrier — and is nil at all other
+	// times.
+	curPartit *partitioning
+	curPart   []int32
+	// partFin is the per-partition last-finish scratch for the profiler's
+	// partition-wait attribution, reused across quanta.
+	partFin []simtime.Host
 }
 
 // sendRec buffers one frame sent during a fast-path walk, with the host and
@@ -153,14 +172,25 @@ type phaseRec struct {
 	h0, h1 simtime.Host
 }
 
+// defEvent buffers one fully-computed cross-partition frame event that a
+// graded quantum defers to the barrier, with the controller-arrival host
+// time the classic engine would have dispatched it at.
+type defEvent struct {
+	h  simtime.Host
+	ev event
+}
+
 // nodeWalk collects everything a fast-path node walk must publish at the
 // barrier: sends to route, observer hooks to replay, and the node's
 // contributions to global counters. Node-local state (finishHost, doneHost,
 // phase, ...) is written straight to the nodeState, which the walking worker
 // owns for the duration of the quantum. Buffers are reused across quanta.
+// During graded quanta the defs buffer additionally holds a tight node's
+// deferred cross-partition frames.
 type nodeWalk struct {
 	sends  []sendRec
 	phases []phaseRec
+	defs   []defEvent
 	busy   simtime.Duration
 	idle   simtime.Duration
 	done   bool
@@ -218,26 +248,35 @@ func (e *engine) shutdown() {
 }
 
 // initFast decides whether the configuration admits the intra-quantum
-// parallel fast path and, if so, precomputes its safety bound and pool.
+// parallel fast path and, if so, precomputes its safety bounds and pool.
 //
-// The bound is Net.MinLatency — the paper's T, probed with the cheapest
-// possible frame (netmodel.MinProbe). Configurations with switch
-// output-port contention (Net.Output) are excluded before the probe: the
-// port-free state must be updated in the exact order the controller
-// observes frames, which only the sequential event queue reproduces.
+// The bounds come from the per-link lookahead matrix — every pair probed
+// with the cheapest possible frame (netmodel.MinProbe), generalizing the
+// paper's scalar T — or, in scalar mode, from Net.MinLatency alone.
+// Configurations with switch output-port contention (Net.Output) are
+// excluded before the probe: the port-free state must be updated in the
+// exact order the controller observes frames, which only the sequential
+// event queue reproduces.
 func (e *engine) initFast() {
 	// The eligibility lookahead is probed for every configuration — the
 	// classic engine included — so per-quantum eligibility accounting never
 	// depends on the Workers gate.
 	if e.cfg.Net.Output == nil {
-		e.eligLat = e.cfg.Net.MinLatency(e.cfg.Nodes)
+		if e.cfg.Lookahead == LookaheadScalar {
+			e.eligLat = e.cfg.Net.MinLatency(e.cfg.Nodes)
+		} else if e.la = newLookahead(e.cfg.Net, e.cfg.Nodes); e.la != nil {
+			e.eligLat = e.la.min
+		}
 	}
 	if e.cfg.Workers < 1 || e.eligLat <= 0 {
 		return
 	}
-	e.minSafeLat = e.eligLat
 	e.walks = make([]nodeWalk, e.cfg.Nodes)
 	e.walkFn = func(i int) { e.walkNode(e.nodes[i], &e.walks[i], e.qStartH) }
+	e.looseFn = func(k int) {
+		i := e.curPartit.loose[k]
+		e.walkNode(e.nodes[i], &e.walks[i], e.qStartH)
+	}
 	if w := e.cfg.Workers; w >= 2 {
 		if w > e.cfg.Nodes {
 			w = e.cfg.Nodes
@@ -286,8 +325,27 @@ func (e *engine) run() error {
 		if e.qElig {
 			e.nElig++
 		}
+		// The quantum's lookahead partitioning (nil in scalar mode or
+		// without lookahead). Both the accounting below and the execution
+		// choice derive from it, but the accounting is pure (Q, lookahead)
+		// state shared verbatim by every engine path, so Stats stay
+		// bit-identical across Workers values.
+		var part *partitioning
+		if e.la != nil {
+			part = e.la.partitionFor(Q)
+		}
+		e.curPartit = part
+		switch {
+		case e.qElig:
+			e.res.Stats.FastFullQuanta++
+			e.res.Stats.FastNodeQuanta += e.cfg.Nodes
+		case part != nil && part.fastNodes > 0:
+			e.res.Stats.FastPartialQuanta++
+			e.res.Stats.FastNodeQuanta += part.fastNodes
+			e.res.Stats.PartialPartitions += part.nparts
+		}
 		if e.prof != nil {
-			e.prof.BeginQuantum(qi, Q)
+			e.prof.BeginQuantum(qi, Q, part.grade())
 		}
 
 		// With Q at or below the minimum network latency, nothing sent in
@@ -295,13 +353,20 @@ func (e *engine) run() error {
 		// argument), so the nodes are independent until the barrier and the
 		// event queue is unnecessary: walk each node to the limit — in
 		// parallel when Workers >= 2 — and route all frames at the barrier.
-		fast := e.minSafeLat > 0 && Q <= e.minSafeLat
+		// Above that bound, the per-link partitioning can still leave loose
+		// nodes that are independent of everyone: they are walked the same
+		// way while the tight partitions fall back to the event queue.
+		full := e.walks != nil && e.qElig
+		graded := e.walks != nil && !e.qElig && part != nil && part.fastNodes > 0
 		if e.cfg.onQuantumMode != nil {
-			e.cfg.onQuantumMode(fast)
+			e.cfg.onQuantumMode(full || graded)
 		}
-		if fast {
+		switch {
+		case full:
 			e.runQuantumFast(hostNow)
-		} else {
+		case graded:
+			e.runQuantumGraded(hostNow, part)
+		default:
 			for _, ns := range e.nodes {
 				ns.n.BeginQuantum(e.limit)
 				ns.phase = phRunning
@@ -341,6 +406,7 @@ func (e *engine) run() error {
 			for i, ns := range e.nodes {
 				e.prof.NodeWait(i, maxH.Sub(ns.finishHost))
 			}
+			e.profPartitionWaits(part, maxH)
 			e.prof.EndQuantum(prof.QuantumStats{
 				Span:       barrierEnd.Sub(hostNow),
 				Routing:    simtime.Duration(e.npQuantum) * e.cfg.Host.PacketHostCost,
@@ -548,7 +614,11 @@ func (e *engine) idleTo(ns *nodeState, target simtime.Guest, h simtime.Host) {
 // frame becomes a queued event dispatched at its controller-arrival host
 // time; the fast path (immediate == true) routes it on the spot — every
 // destination is already at the barrier, so dispatch order no longer
-// matters and the queue round-trip is pure overhead.
+// matters and the queue round-trip is pure overhead. During a graded
+// quantum's tight-partition walks (curPart != nil), frames crossing the
+// current partition are instead deferred to the barrier: their destination
+// lies across a loose link, so the arrival time is provably at or past the
+// limit and routing them later is behavior-neutral (DESIGN.md §11).
 func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f *pkt.Frame, immediate bool) {
 	src := ns.n.ID()
 	depart := simtime.MaxGuest(tSend, ns.txFree)
@@ -557,20 +627,24 @@ func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f
 	ns.txFree = depart
 
 	arrHost := h.Add(e.cfg.Host.PacketTransit)
+	ship := func(dst int) {
+		ev := event{
+			kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
+			tD: e.arrivalTime(f, src, dst, depart),
+		}
+		switch {
+		case immediate:
+			e.routeFrame(arrHost, ev)
+		case e.curPart != nil && e.curPart[dst] != e.curPart[src]:
+			e.walks[src].defs = append(e.walks[src].defs, defEvent{h: arrHost, ev: ev})
+		default:
+			e.q.PushPri(int64(arrHost), priFrame, ev)
+		}
+	}
 	if f.Dst.IsBroadcast() {
 		for _, other := range e.nodes {
-			dst := other.n.ID()
-			if dst == src {
-				continue
-			}
-			ev := event{
-				kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
-				tD: e.arrivalTime(f, src, dst, depart),
-			}
-			if immediate {
-				e.routeFrame(arrHost, ev)
-			} else {
-				e.q.PushPri(int64(arrHost), priFrame, ev)
+			if dst := other.n.ID(); dst != src {
+				ship(dst)
 			}
 		}
 		return
@@ -583,15 +657,7 @@ func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f
 		e.res.Stats.Packets++
 		return
 	}
-	ev := event{
-		kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
-		tD: e.arrivalTime(f, src, dst, depart),
-	}
-	if immediate {
-		e.routeFrame(arrHost, ev)
-	} else {
-		e.q.PushPri(int64(arrHost), priFrame, ev)
-	}
+	ship(dst)
 }
 
 // arrivalTime computes the exact simulated arrival of a frame that left its
@@ -804,7 +870,7 @@ func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
 	}
 }
 
-// runQuantumFast executes one provably-safe quantum (Q <= minSafeLat): every
+// runQuantumFast executes one provably-safe quantum (Q <= eligLat): every
 // node is walked to the barrier independently — concurrently when a pool
 // exists — then the buffered per-node effects are folded into the global
 // state in node order, and all frames are routed in (node, send-sequence)
@@ -819,28 +885,8 @@ func (e *engine) runQuantumFast(hostNow simtime.Host) {
 			e.walkNode(e.nodes[i], &e.walks[i], hostNow)
 		}
 	}
-	for i, ns := range e.nodes {
-		wk := &e.walks[i]
-		e.res.Stats.HostBusy += wk.busy
-		e.res.Stats.HostIdle += wk.idle
-		if e.prof != nil {
-			// Fold the walk's per-node charges at the barrier so the
-			// profiler sees the same per-node totals as the classic path
-			// without any cross-worker synchronization during the walk.
-			e.prof.Segment(i, prof.SegBusy, wk.busy)
-			e.prof.Segment(i, prof.SegIdle, wk.idle)
-		}
-		if wk.done {
-			if wk.err != nil && e.firstErr == nil {
-				e.firstErr = fmt.Errorf("cluster: rank %d: %w", ns.n.ID(), wk.err)
-			}
-			e.doneCount++
-		}
-		if e.obs != nil {
-			for _, ph := range wk.phases {
-				e.obs.NodePhase(i, ph.phase, ph.g0, ph.g1, ph.h0, ph.h1)
-			}
-		}
+	for i := range e.nodes {
+		e.foldWalk(i)
 	}
 	// Barrier routing. Every destination is phAtLimit and, by the safety
 	// bound, every arrival time tD is at or past the limit, so routeFrame
@@ -850,6 +896,132 @@ func (e *engine) runQuantumFast(hostNow simtime.Host) {
 		for _, s := range e.walks[i].sends {
 			e.sendFrame(ns, s.h, s.tSend, s.f, true)
 		}
+	}
+}
+
+// foldWalk folds node i's completed walk buffers into the global state —
+// stats, profiler charges, done accounting and observer replay. Single-
+// threaded; called in ascending node order so the published order is
+// canonical whatever worker walked the node.
+func (e *engine) foldWalk(i int) {
+	wk := &e.walks[i]
+	e.res.Stats.HostBusy += wk.busy
+	e.res.Stats.HostIdle += wk.idle
+	if e.prof != nil {
+		// Fold the walk's per-node charges at the barrier so the
+		// profiler sees the same per-node totals as the classic path
+		// without any cross-worker synchronization during the walk.
+		e.prof.Segment(i, prof.SegBusy, wk.busy)
+		e.prof.Segment(i, prof.SegIdle, wk.idle)
+	}
+	if wk.done {
+		if wk.err != nil && e.firstErr == nil {
+			e.firstErr = fmt.Errorf("cluster: rank %d: %w", e.nodes[i].n.ID(), wk.err)
+		}
+		e.doneCount++
+	}
+	if e.obs != nil {
+		for _, ph := range wk.phases {
+			e.obs.NodePhase(i, ph.phase, ph.g0, ph.g1, ph.h0, ph.h1)
+		}
+	}
+}
+
+// runQuantumGraded executes one partially-engaged quantum (DESIGN.md §11):
+// Q exceeds the global minimum latency, but the per-link partitioning
+// leaves loose nodes whose every link has latency >= Q. Tight partitions
+// run the classic event-queue walk one partition at a time — the shared
+// queue then only ever holds the current partition's events, and because
+// restricting a deterministic total order to a subset preserves relative
+// order, each partition's walk is bit-identical to its slice of the classic
+// engine's. Frames crossing partitions are deferred by sendFrame (their
+// arrival is provably at or past the limit, so mid-quantum routing is
+// behavior-neutral); loose nodes are fast-walked exactly as in
+// runQuantumFast — concurrently when a pool exists — and everything
+// publishes at the barrier in canonical node order.
+func (e *engine) runQuantumGraded(hostNow simtime.Host, p *partitioning) {
+	e.curPart = p.part
+	for _, members := range p.tight {
+		for _, m := range members {
+			i := int(m)
+			ns := e.nodes[i]
+			e.walks[i].defs = e.walks[i].defs[:0]
+			ns.n.BeginQuantum(e.limit)
+			ns.phase = phRunning
+			ns.hostNow = hostNow
+			ns.inSeg = false
+			ns.wakeEv = eventq.Handle{}
+			ns.finishHost = hostNow
+			if ns.n.Done() {
+				e.idleTo(ns, e.limit, hostNow)
+				continue
+			}
+			e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: i})
+		}
+		for e.q.Len() > 0 {
+			ev := e.q.Pop()
+			e.dispatch(simtime.Host(ev.Time), ev.Payload)
+		}
+	}
+	e.curPart = nil
+
+	// Loose nodes: the same independent walks as a fully-engaged quantum.
+	if e.pool != nil {
+		e.pool.Run(len(p.loose), e.looseFn)
+	} else {
+		for _, i := range p.loose {
+			e.walkNode(e.nodes[i], &e.walks[i], hostNow)
+		}
+	}
+	for _, i := range p.loose {
+		e.foldWalk(int(i))
+	}
+
+	// Barrier publication in global node order: loose nodes replay their
+	// buffered sends, tight nodes route their deferred cross-partition
+	// frames at the controller-arrival host times the classic engine would
+	// have dispatched them at. Every arrival time is at or past the limit
+	// and every destination is at the barrier, so each delivery is exact.
+	for i, ns := range e.nodes {
+		if p.fastNode[i] {
+			for _, s := range e.walks[i].sends {
+				e.sendFrame(ns, s.h, s.tSend, s.f, true)
+			}
+		} else {
+			for _, d := range e.walks[i].defs {
+				e.routeFrame(d.h, d.ev)
+			}
+		}
+	}
+}
+
+// profPartitionWaits charges each lookahead partition's barrier wait for
+// the quantum: the release point minus the partition's last member finish.
+// With an unknown partitioning the whole cluster is one partition. Derived
+// purely from simulated time, so the attribution is identical for every
+// Workers value and engine path.
+func (e *engine) profPartitionWaits(p *partitioning, maxH simtime.Host) {
+	if p == nil {
+		last := e.nodes[0].finishHost
+		for _, ns := range e.nodes[1:] {
+			last = simtime.MaxHost(last, ns.finishHost)
+		}
+		e.prof.PartitionWait(maxH.Sub(last))
+		return
+	}
+	if cap(e.partFin) < p.nparts {
+		e.partFin = make([]simtime.Host, p.nparts)
+	}
+	fin := e.partFin[:p.nparts]
+	for i := range fin {
+		fin[i] = 0
+	}
+	for i, ns := range e.nodes {
+		pid := p.part[i]
+		fin[pid] = simtime.MaxHost(fin[pid], ns.finishHost)
+	}
+	for _, f := range fin {
+		e.prof.PartitionWait(maxH.Sub(f))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"clustersim/internal/netmodel"
 	"clustersim/internal/simtime"
 	"clustersim/internal/workloads"
 )
@@ -13,6 +14,56 @@ import (
 // is the fast path walked inline (its single-core win: safe quanta skip the
 // event queue entirely); higher counts add true parallelism on multi-core
 // hosts.
+// BenchmarkFastPathRack measures the partitioned fast path at a quantum
+// between the latency levels, where the scalar gate falls back to the event
+// queue for every node but the matrix gate still fast-walks the loose ones.
+// Three geometries: "rack8" is a uniform two-rack fat-tree (both racks tight
+// at mid-Q — no loose nodes, so matrix == scalar by construction; the honest
+// negative control), "mixed8" is one tight rack plus four loose WAN
+// singletons, and "mixed64" is the paper-scale motivating geometry — one
+// tight rack plus 60 loose WAN nodes in the sync-overhead-dominated regime,
+// where skipping the event queue for the loose majority pays the most.
+func BenchmarkFastPathRack(b *testing.B) {
+	scenarios := []struct {
+		name  string
+		nodes int
+		net   func(nodes int) *netmodel.Model
+		w     workloads.Workload
+	}{
+		{"rack8", 8, func(int) *netmodel.Model { return rackNet() },
+			workloads.Uniform(120, 2000, 30*simtime.Microsecond, 17)},
+		{"mixed8", 8, mixedWANNet,
+			workloads.Uniform(120, 2000, 30*simtime.Microsecond, 17)},
+		{"mixed64", 64, mixedWANNet,
+			workloads.Silent(200 * simtime.Microsecond)},
+	}
+	for _, sc := range scenarios {
+		for _, mode := range []struct {
+			name string
+			m    LookaheadMode
+		}{{"scalar", LookaheadScalar}, {"matrix", LookaheadMatrix}} {
+			for _, workers := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/%s/workers=%d", sc.name, mode.name, workers), func(b *testing.B) {
+					var quanta int64
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						cfg := testConfig(sc.nodes, sc.w, fixed(2*simtime.Microsecond))
+						cfg.Net = sc.net(sc.nodes)
+						cfg.Workers = workers
+						cfg.Lookahead = mode.m
+						res, err := Run(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						quanta += int64(res.Stats.Quanta)
+					}
+					b.ReportMetric(float64(quanta)/b.Elapsed().Seconds(), "quanta/s")
+				})
+			}
+		}
+	}
+}
+
 func BenchmarkGroundTruthQuanta(b *testing.B) {
 	w := workloads.Phases(3, 150*simtime.Microsecond, 32<<10)
 	for _, workers := range []int{0, 1, 2, 4} {

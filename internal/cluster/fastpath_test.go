@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"clustersim/internal/faults"
+	"clustersim/internal/netmodel"
 	"clustersim/internal/obs"
 	"clustersim/internal/quantum"
 	"clustersim/internal/simtime"
@@ -45,6 +46,10 @@ type fastCase struct {
 	pol    func() quantum.Policy
 	loss   float64
 	faults *faults.Plan
+	// net overrides the default uniform paper fabric — non-uniform
+	// topologies exercise the partitioned (graded) fast path whenever Q
+	// falls between latency levels.
+	net *netmodel.Model
 }
 
 func fastCases() []fastCase {
@@ -66,13 +71,53 @@ func fastCases() []fastCase {
 		// stay identical across worker counts and engine paths.
 		{name: "slowdown-3", nodes: 3, w: workloads.PingPong(20, 1000), pol: fixed(simtime.Microsecond),
 			faults: &faults.Plan{Seed: 3, NodeSlowdown: map[int]float64{1: 2.5}}},
+		// Partitioned (graded) fast path: rack topology at a quantum between
+		// the intra- and inter-rack levels — both racks tight internally,
+		// loose to each other.
+		{name: "rack-mid-8", nodes: 8, w: workloads.Uniform(120, 2000, 30*simtime.Microsecond, 11),
+			pol: fixed(2 * simtime.Microsecond), net: rackNet()},
+		// Mixed rack + WAN: one tight rack plus distant loose singletons, the
+		// motivating geometry for per-link lookahead; run it clean and with a
+		// fault plan, and with an adaptive policy that slides across all
+		// three bands (fully loose, partial, fully tight).
+		{name: "mixed-wan-8", nodes: 8, w: workloads.Uniform(120, 2000, 30*simtime.Microsecond, 17),
+			pol: fixed(2 * simtime.Microsecond), net: mixedWANNet(8)},
+		{name: "mixed-wan-faulty-8", nodes: 8, w: workloads.Uniform(120, 2000, 30*simtime.Microsecond, 17),
+			pol: fixed(2 * simtime.Microsecond), net: mixedWANNet(8),
+			faults: &faults.Plan{Seed: 9, Default: faults.Link{Loss: 0.05, Dup: 0.1, Jitter: 3 * simtime.Microsecond}}},
+		{name: "mixed-wan-adaptive-8", nodes: 8, w: workloads.Uniform(120, 2000, 30*simtime.Microsecond, 19),
+			pol: adaptive(simtime.Microsecond, 200*simtime.Microsecond, 1.1, 0.02), net: mixedWANNet(8)},
 	}
+}
+
+// mixedWANNet puts the first four nodes in one 500ns rack and every other
+// node 50µs away from everything: a tight rack plus loose WAN singletons.
+func mixedWANNet(nodes int) *netmodel.Model {
+	lat := make([][]simtime.Duration, nodes)
+	for s := range lat {
+		lat[s] = make([]simtime.Duration, nodes)
+		for d := range lat[s] {
+			switch {
+			case s == d:
+			case s < 4 && d < 4:
+				lat[s][d] = 500 * simtime.Nanosecond
+			default:
+				lat[s][d] = 50 * simtime.Microsecond
+			}
+		}
+	}
+	m := netmodel.Paper()
+	m.Switch = &netmodel.MatrixSwitch{Lat: lat}
+	return m
 }
 
 func runFast(t *testing.T, c fastCase, workers int) (*Result, *recorder) {
 	t.Helper()
 	rec := &recorder{}
 	cfg := testConfig(c.nodes, c.w, c.pol)
+	if c.net != nil {
+		cfg.Net = c.net
+	}
 	cfg.Workers = workers
 	cfg.TraceQuanta = true
 	cfg.TracePackets = true
@@ -213,5 +258,77 @@ func TestFastPathEngages(t *testing.T) {
 	// Workers == 0 keeps the classic engine even at ground truth.
 	if fast, slow := count(fixed(simtime.Microsecond), 0); fast != 0 || slow == 0 {
 		t.Errorf("workers=0: want no fast quanta, got fast=%d slow=%d", fast, slow)
+	}
+}
+
+// The partitioned fast path must actually engage partially on the mixed
+// topology — otherwise the bit-identity cases above are vacuously passing on
+// the classic path — and the graded Stats accounting must be identical for
+// every worker count, including the classic engine.
+func TestPartitionedPathEngagesPartially(t *testing.T) {
+	run := func(workers int, mode LookaheadMode) *Result {
+		cfg := testConfig(8, workloads.Uniform(120, 2000, 30*simtime.Microsecond, 17), fixed(2*simtime.Microsecond))
+		cfg.Net = mixedWANNet(8)
+		cfg.Workers = workers
+		cfg.Lookahead = mode
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(0, LookaheadMatrix)
+	s := base.Stats
+	if s.FastPartialQuanta == 0 || s.FastFullQuanta != 0 {
+		t.Fatalf("Q=2µs mixed topology: want only partial engagement, got %+v", s)
+	}
+	// One tight 4-node rack + 4 loose WAN singletons, every quantum.
+	if want := 4 * s.FastPartialQuanta; s.FastNodeQuanta != want {
+		t.Errorf("FastNodeQuanta = %d, want %d", s.FastNodeQuanta, want)
+	}
+	if want := 5 * s.FastPartialQuanta; s.PartialPartitions != want {
+		t.Errorf("PartialPartitions = %d, want %d", s.PartialPartitions, want)
+	}
+	for _, workers := range []int{1, 3} {
+		if got := run(workers, LookaheadMatrix); !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: result differs from classic engine", workers)
+		}
+	}
+}
+
+// LookaheadScalar must reproduce the matrix mode's simulation outputs
+// exactly — the mode only moves engine paths and the graded accounting (all
+// zero under scalar).
+func TestScalarLookaheadBitIdentity(t *testing.T) {
+	run := func(workers int, mode LookaheadMode) *Result {
+		cfg := testConfig(8, workloads.Uniform(120, 2000, 30*simtime.Microsecond, 17),
+			adaptive(simtime.Microsecond, 200*simtime.Microsecond, 1.1, 0.02))
+		cfg.Net = mixedWANNet(8)
+		cfg.Workers = workers
+		cfg.Lookahead = mode
+		cfg.TraceQuanta = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	matrix := run(2, LookaheadMatrix)
+	scalar := run(2, LookaheadScalar)
+	if scalar.Stats.FastPartialQuanta != 0 || scalar.Stats.PartialPartitions != 0 {
+		t.Errorf("scalar mode reported graded engagement: %+v", scalar.Stats)
+	}
+	if matrix.Stats.FastPartialQuanta == 0 {
+		t.Fatalf("adaptive mixed run never partially engaged: %+v", matrix.Stats)
+	}
+	// Null out the accounting that is allowed to differ; everything else —
+	// including every quantum record — must match bit for bit.
+	m, s := *matrix, *scalar
+	m.Stats.FastFullQuanta, s.Stats.FastFullQuanta = 0, 0
+	m.Stats.FastPartialQuanta, s.Stats.FastPartialQuanta = 0, 0
+	m.Stats.FastNodeQuanta, s.Stats.FastNodeQuanta = 0, 0
+	m.Stats.PartialPartitions, s.Stats.PartialPartitions = 0, 0
+	if !reflect.DeepEqual(&m, &s) {
+		t.Errorf("scalar vs matrix results differ:\nmatrix %+v\nscalar %+v", m.Stats, s.Stats)
 	}
 }

@@ -177,10 +177,10 @@ func TestSlowdownScalesHostCosts(t *testing.T) {
 	}
 }
 
-// The fast path's safety bound must be exactly netmodel.MinLatency — the
-// unification this PR's bugfix demands. Output-queue models are excluded
-// from the fast path before the probe, so the exclusion is structural, not
-// a bound disagreement.
+// The fast path's full-engagement bound must be exactly netmodel.MinLatency
+// in both lookahead modes — scalar probes it directly, matrix derives it as
+// the matrix minimum. Output-queue models are excluded from the fast path
+// before the probe, so the exclusion is structural, not a bound disagreement.
 func TestFastPathBoundMatchesMinLatency(t *testing.T) {
 	models := map[string]*netmodel.Model{
 		"paper": netmodel.Paper(),
@@ -190,13 +190,19 @@ func TestFastPathBoundMatchesMinLatency(t *testing.T) {
 		},
 	}
 	for name, m := range models {
-		cfg := testConfig(4, workloads.Silent(10*simtime.Microsecond), fixed(simtime.Microsecond))
-		cfg.Net = m
-		cfg.Workers = 1
-		e := &engine{cfg: cfg}
-		e.initFast()
-		if want := m.MinLatency(cfg.Nodes); e.minSafeLat != want {
-			t.Errorf("%s: fast-path bound %v != MinLatency %v", name, e.minSafeLat, want)
+		for _, mode := range []LookaheadMode{LookaheadMatrix, LookaheadScalar} {
+			cfg := testConfig(4, workloads.Silent(10*simtime.Microsecond), fixed(simtime.Microsecond))
+			cfg.Net = m
+			cfg.Workers = 1
+			cfg.Lookahead = mode
+			e := &engine{cfg: cfg}
+			e.initFast()
+			if want := m.MinLatency(cfg.Nodes); e.eligLat != want {
+				t.Errorf("%s/mode=%d: fast-path bound %v != MinLatency %v", name, mode, e.eligLat, want)
+			}
+			if wantLA := mode == LookaheadMatrix; (e.la != nil) != wantLA {
+				t.Errorf("%s/mode=%d: lookahead matrix present = %v, want %v", name, mode, e.la != nil, wantLA)
+			}
 		}
 	}
 
@@ -208,8 +214,8 @@ func TestFastPathBoundMatchesMinLatency(t *testing.T) {
 	cfg.Workers = 1
 	e := &engine{cfg: cfg}
 	e.initFast()
-	if e.minSafeLat != 0 {
-		t.Errorf("OutputQueue model engaged the fast path with bound %v", e.minSafeLat)
+	if e.eligLat != 0 || e.la != nil {
+		t.Errorf("OutputQueue model engaged the fast path with bound %v (la=%v)", e.eligLat, e.la != nil)
 	}
 }
 

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"sort"
+
+	"clustersim/internal/netmodel"
+	"clustersim/internal/prof"
+	"clustersim/internal/simtime"
+)
+
+// lookahead is the per-link generalization of the paper's scalar safety
+// bound T (DESIGN.md §11): a node-pair lower-bound latency matrix probed
+// once per run, plus the lookahead-closed partitionings it induces at each
+// quantum size.
+//
+// For a quantum Q, a directed link is "tight" when its lower-bound latency
+// is below Q — a frame on it could arrive inside the quantum — and "loose"
+// otherwise. Nodes joined (in either direction) by a tight link must
+// synchronize through the event queue; nodes in different components of the
+// tight-link graph are provably non-interacting before the barrier, because
+// every frame between them arrives at or after the quantum limit. Components
+// of that graph are the quantum's partitions: singletons run the
+// intra-quantum fast path, multi-node (tight) partitions fall back to the
+// event-queue walk.
+//
+// The partition structure only changes when Q crosses one of the matrix's
+// distinct latency values, so partitionings are cached per level and shared
+// by every quantum in the same band.
+type lookahead struct {
+	n   int
+	lat []simtime.Duration // flat n×n row-major probe matrix; diagonal 0
+	min simtime.Duration   // smallest off-diagonal entry (the scalar T)
+	// levels holds the distinct positive off-diagonal latencies, ascending.
+	// A quantum with Q <= levels[0] has no tight links (fully fast); one
+	// with Q > levels[len-1] ties the whole cluster into one partition.
+	levels []simtime.Duration
+	// parts caches one partitioning per level band, indexed by the number
+	// of levels strictly below Q. Entries are built lazily.
+	parts []*partitioning
+}
+
+// partitioning is the lookahead closure of the cluster at one tight-link
+// set: the connected components of the links with latency below Q.
+type partitioning struct {
+	// part maps node -> partition id. Ids are dense and canonical: they
+	// number the partitions by their smallest member node.
+	part   []int32
+	nparts int
+	// fastNode marks the loose singletons — nodes with no tight link in
+	// either direction, walkable on the fast path.
+	fastNode  []bool
+	fastNodes int
+	// loose lists the fast-walkable nodes, ascending.
+	loose []int32
+	// tight lists each multi-node partition's members (ascending), ordered
+	// by partition id.
+	tight [][]int32
+	// maxTightLat is the largest tight-link latency (the level this
+	// partitioning was built at); zero when there are no tight links. It
+	// uniquely identifies the structure: the tight-link set is exactly the
+	// links with latency <= maxTightLat.
+	maxTightLat simtime.Duration
+	// tightLinks ranks the directed tight links ascending by latency (the
+	// links binding partitions together), truncated to tightLinksK;
+	// tightLinkCount has the full count.
+	tightLinks     []prof.LinkRef
+	tightLinkCount int64
+}
+
+// tightLinksK bounds the per-partitioning tight-link ranking, mirroring the
+// profiler's limiting-links cap.
+const tightLinksK = 16
+
+// newLookahead probes the matrix for the given model. It returns nil when
+// the topology admits no lookahead at all (some pair has a non-positive
+// lower bound, so same-instant cross-node causality is possible), matching
+// the scalar gate's CauseNoLookahead semantics.
+func newLookahead(m *netmodel.Model, nodes int) *lookahead {
+	if nodes < 2 {
+		return nil
+	}
+	la := &lookahead{n: nodes, lat: m.LookaheadMatrix(nodes)}
+	seen := make(map[simtime.Duration]bool, 2)
+	for s := 0; s < nodes; s++ {
+		for d := 0; d < nodes; d++ {
+			if s == d {
+				continue
+			}
+			l := la.lat[s*nodes+d]
+			if l <= 0 {
+				return nil
+			}
+			if la.min == 0 || l < la.min {
+				la.min = l
+			}
+			if !seen[l] {
+				seen[l] = true
+				la.levels = append(la.levels, l)
+			}
+		}
+	}
+	sort.Slice(la.levels, func(i, j int) bool { return la.levels[i] < la.levels[j] })
+	la.parts = make([]*partitioning, len(la.levels)+1)
+	return la
+}
+
+// partitionFor returns the (cached) partitioning for quantum size q.
+func (la *lookahead) partitionFor(q simtime.Duration) *partitioning {
+	// Index = number of distinct latencies strictly below q = first index
+	// with levels[i] >= q.
+	idx := sort.Search(len(la.levels), func(i int) bool { return la.levels[i] >= q })
+	if p := la.parts[idx]; p != nil {
+		return p
+	}
+	p := la.build(idx)
+	la.parts[idx] = p
+	return p
+}
+
+// build constructs the partitioning whose tight links are the idx smallest
+// latency levels.
+func (la *lookahead) build(idx int) *partitioning {
+	n := la.n
+	p := &partitioning{part: make([]int32, n), fastNode: make([]bool, n)}
+	if idx > 0 {
+		p.maxTightLat = la.levels[idx-1]
+	}
+
+	// Union-find over the undirected tight-link graph.
+	root := make([]int32, n)
+	for i := range root {
+		root[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for root[x] != x {
+			root[x] = root[root[x]] // path halving
+			x = root[x]
+		}
+		return x
+	}
+	for s := 0; s < n; s++ {
+		for d := s + 1; d < n; d++ {
+			if la.lat[s*n+d] > p.maxTightLat && la.lat[d*n+s] > p.maxTightLat {
+				continue
+			}
+			rs, rd := find(int32(s)), find(int32(d))
+			if rs != rd {
+				// Smaller root wins, so every root is its component's
+				// smallest member.
+				if rd < rs {
+					rs, rd = rd, rs
+				}
+				root[rd] = rs
+			}
+		}
+	}
+
+	// Dense canonical partition ids by smallest member, plus member lists.
+	id := make(map[int32]int32, n)
+	members := make([][]int32, 0, n)
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		pid, ok := id[r]
+		if !ok {
+			pid = int32(len(members))
+			id[r] = pid
+			members = append(members, nil)
+		}
+		p.part[i] = pid
+		members[pid] = append(members[pid], int32(i))
+	}
+	p.nparts = len(members)
+	for _, m := range members {
+		if len(m) == 1 {
+			i := m[0]
+			p.fastNode[i] = true
+			p.fastNodes++
+			p.loose = append(p.loose, i)
+		} else {
+			p.tight = append(p.tight, m)
+		}
+	}
+
+	// Rank the directed tight links, ascending by latency then (src, dst).
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d || la.lat[s*n+d] > p.maxTightLat {
+				continue
+			}
+			p.tightLinkCount++
+			p.tightLinks = append(p.tightLinks, prof.LinkRef{
+				Src: s, Dst: d, LatencyNS: int64(la.lat[s*n+d]),
+			})
+		}
+	}
+	sort.Slice(p.tightLinks, func(i, j int) bool {
+		a, b := p.tightLinks[i], p.tightLinks[j]
+		if a.LatencyNS != b.LatencyNS {
+			return a.LatencyNS < b.LatencyNS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	if len(p.tightLinks) > tightLinksK {
+		p.tightLinks = p.tightLinks[:tightLinksK]
+	}
+	return p
+}
+
+// grade summarizes the partitioning for the profiler's graded-engagement
+// accounting. A nil receiver (scalar lookahead, no-lookahead topology, or
+// output-queue tap) reports an unknown grade.
+func (p *partitioning) grade() prof.Grade {
+	if p == nil {
+		return prof.Grade{}
+	}
+	return prof.Grade{
+		Known:           true,
+		Partitions:      p.nparts,
+		TightPartitions: len(p.tight),
+		FastNodes:       p.fastNodes,
+		MaxTightLat:     p.maxTightLat,
+		TightLinks:      p.tightLinks,
+		TightLinkCount:  p.tightLinkCount,
+	}
+}

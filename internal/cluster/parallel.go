@@ -58,6 +58,12 @@ type ParallelConfig struct {
 	// per-node wait is arrival→release. Guest idle is free in real time, so
 	// idle attribution is always zero here. Nil disables at zero cost.
 	Profiler *prof.Profiler
+	// Lookahead mirrors Config.Lookahead: the default matrix mode derives
+	// the per-quantum lookahead partitioning so eligibility causes report
+	// graded engagement and barrier participation is tracked per partition
+	// (each partition's last arrival, under the existing global barrier);
+	// LookaheadScalar restores the scalar accounting.
+	Lookahead LookaheadMode
 }
 
 // ParallelResult is the outcome of a real-time parallel run.
@@ -128,8 +134,11 @@ type prun struct {
 	obs  obs.Observer
 	prof *prof.Profiler
 	// eligLat mirrors the deterministic engine's fast-path eligibility
-	// lookahead so parallel runs report the same per-quantum causes.
+	// lookahead so parallel runs report the same per-quantum causes; la is
+	// the per-link lookahead structure behind it (nil under LookaheadScalar
+	// or an output-queued switch).
 	eligLat simtime.Duration
+	la      *lookahead
 	qElig   bool
 	nElig   int
 	// startWall is the epoch for hook host times; set before any goroutine
@@ -157,6 +166,16 @@ type prun struct {
 	// real synchronization wait charged to Stats.HostBarrier.
 	firstArr simtime.Host
 	haveArr  bool
+	// part is this quantum's lookahead partitioning (nil without a matrix);
+	// partLeft counts each partition's nodes still running and partArrH
+	// records the host time its last member reached the barrier, so the
+	// profiler can attribute barrier wait per partition under the single
+	// global barrier. lastArr is the whole-cluster fallback. Only maintained
+	// when a profiler is attached; all guarded by mu.
+	part     *partitioning
+	partLeft []int
+	partArrH []simtime.Host
+	lastArr  simtime.Host
 	stats    Stats
 	sumQ     float64
 	wErr     error
@@ -177,7 +196,11 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	r := &prun{cfg: cfg, obs: cfg.Observer, prof: cfg.Profiler, barrier: make(chan struct{}, 1)}
 	r.portFree = make([]simtime.Guest, cfg.Nodes)
 	if cfg.Net.Output == nil {
-		r.eligLat = cfg.Net.MinLatency(cfg.Nodes)
+		if cfg.Lookahead == LookaheadScalar {
+			r.eligLat = cfg.Net.MinLatency(cfg.Nodes)
+		} else if r.la = newLookahead(cfg.Net, cfg.Nodes); r.la != nil {
+			r.eligLat = r.la.min
+		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		spinPer := cfg.SpinPerGuestBusy
@@ -256,12 +279,48 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 			if r.qElig {
 				r.nElig++
 			}
+			r.part = nil
+			if r.la != nil {
+				r.part = r.la.partitionFor(Q)
+			}
+			// Graded-engagement accounting, identical to the deterministic
+			// engine's: eligibility is a function of (Q, matrix) alone.
+			switch {
+			case r.qElig:
+				r.stats.FastFullQuanta++
+				r.stats.FastNodeQuanta += cfg.Nodes
+			case r.part != nil && r.part.fastNodes > 0:
+				r.stats.FastPartialQuanta++
+				r.stats.FastNodeQuanta += r.part.fastNodes
+				r.stats.PartialPartitions += r.part.nparts
+			}
 			if r.prof != nil {
-				r.prof.BeginQuantum(qi, Q)
+				r.prof.BeginQuantum(qi, Q, r.part.grade())
 				// Nodes already done stand at the barrier for the whole
 				// quantum; everyone else overwrites this on arrival.
 				for _, pn := range r.nodes {
 					pn.arrH = qStartH
+				}
+				r.lastArr = qStartH
+				if p := r.part; p != nil {
+					if cap(r.partLeft) < p.nparts {
+						r.partLeft = make([]int, p.nparts)
+						r.partArrH = make([]simtime.Host, p.nparts)
+					}
+					r.partLeft = r.partLeft[:p.nparts]
+					r.partArrH = r.partArrH[:p.nparts]
+					for i := range r.partLeft {
+						r.partLeft[i] = 0
+						// A partition whose nodes all finished earlier stands
+						// at the barrier from the quantum start, like a done
+						// node in the per-node accounting.
+						r.partArrH[i] = qStartH
+					}
+					for i, pn := range r.nodes {
+						if pn.state != pnDone {
+							r.partLeft[p.part[i]]++
+						}
+					}
 				}
 			}
 			r.gen++
@@ -350,6 +409,13 @@ func (r *prun) arrive(pn *pnode) {
 	}
 	if r.prof != nil {
 		pn.arrH = r.hostNow()
+		r.lastArr = pn.arrH
+		if p := r.part; p != nil {
+			pid := p.part[pn.n.ID()]
+			if r.partLeft[pid]--; r.partLeft[pid] == 0 {
+				r.partArrH[pid] = pn.arrH
+			}
+		}
 	}
 	if r.atLimit == len(r.nodes) {
 		r.signalController()
@@ -387,6 +453,17 @@ func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qS
 		// happening now (a done node waits the whole quantum).
 		for i, pn := range r.nodes {
 			r.prof.NodeWait(i, end.Sub(pn.arrH))
+		}
+		// Per-partition wait: each partition's completion (its last member's
+		// barrier arrival) to the release — barrier participation under the
+		// single global barrier, graded by the lookahead partitioning. With
+		// no partitioning the whole cluster is one partition.
+		if r.part != nil {
+			for pid := range r.partArrH {
+				r.prof.PartitionWait(end.Sub(r.partArrH[pid]))
+			}
+		} else {
+			r.prof.PartitionWait(end.Sub(r.lastArr))
 		}
 		r.prof.EndQuantum(prof.QuantumStats{
 			Span:       end.Sub(qStartH),
@@ -638,6 +715,11 @@ func (r *prun) deliverCopy(src int, dn *pnode, f *pkt.Frame, tSend, tD simtime.G
 	if dn.state == pnParked && arr <= r.limit {
 		dn.state = pnRunning
 		r.atLimit--
+		if r.prof != nil && r.part != nil {
+			// The destination's partition has a member running again; its
+			// next full arrival re-stamps the completion time.
+			r.partLeft[r.part.part[dn.n.ID()]]++
+		}
 		wakeNode(dn)
 	}
 }

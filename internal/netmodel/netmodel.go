@@ -110,11 +110,18 @@ func (m *Model) PostQueueLatency(f *pkt.Frame) simtime.Duration {
 	return l
 }
 
+// minProbe is the shared size-0 probe frame. Latency models only ever read
+// a frame, so one immutable instance serves every probe without allocating
+// (the per-run probe in the engine's initFast used to cost one heap frame).
+var minProbe pkt.Frame
+
 // MinProbe returns the cheapest possible frame: Size 0. Serialization
 // models are monotonic in wire size, so a size-0 probe lower-bounds every
 // real frame. Both MinLatency and the engine's fast-path safety bound probe
 // with it, so the two T estimates cannot diverge.
-func MinProbe() *pkt.Frame { return &pkt.Frame{} }
+//
+// The returned frame is shared; callers must treat it as read-only.
+func MinProbe() *pkt.Frame { return &minProbe }
 
 // MinLatency returns a lower bound on the latency of any frame between any
 // pair of distinct nodes among the given count. This is the paper's T: a
@@ -142,6 +149,30 @@ func (m *Model) MinLatency(nodes int) simtime.Duration {
 		}
 	}
 	return min
+}
+
+// LookaheadMatrix returns the per-pair lower-bound latency matrix for the
+// given node count, probed with MinProbe: entry [src*nodes+dst] (row-major)
+// is a latency no frame from src to dst can beat. Diagonal entries are zero.
+// The matrix generalizes MinLatency: its smallest off-diagonal entry equals
+// MinLatency(nodes), but per-pair values let the engine treat a quantum as
+// safe for a node pair whose mutual latency is at least Q even when some
+// other pair's is not (the per-link lookahead of DESIGN.md §11).
+func (m *Model) LookaheadMatrix(nodes int) []simtime.Duration {
+	if nodes < 1 {
+		return nil
+	}
+	probe := MinProbe()
+	lat := make([]simtime.Duration, nodes*nodes)
+	for s := 0; s < nodes; s++ {
+		for d := 0; d < nodes; d++ {
+			if s == d {
+				continue
+			}
+			lat[s*nodes+d] = m.FrameLatency(probe, s, d)
+		}
+	}
+	return lat
 }
 
 // SimpleNIC is the paper's NIC model: a fixed base latency plus wire

@@ -142,6 +142,68 @@ func TestMinLatencyFewNodes(t *testing.T) {
 	}
 }
 
+func TestMinProbeDoesNotAllocate(t *testing.T) {
+	// MinProbe hands out a shared read-only frame, so probing — MinLatency,
+	// LookaheadMatrix's per-pair loop, the profiler's LinkLat closure —
+	// costs zero heap frames. The engine's initFast probe used to be +1
+	// allocation per run; this pins the fix.
+	m := Paper()
+	if n := testing.AllocsPerRun(100, func() {
+		_ = m.FrameLatency(MinProbe(), 0, 1)
+	}); n != 0 {
+		t.Errorf("MinProbe+FrameLatency allocates %v times per probe, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = m.MinLatency(8)
+	}); n != 0 {
+		t.Errorf("MinLatency allocates %v times per call, want 0", n)
+	}
+}
+
+func TestLookaheadMatrix(t *testing.T) {
+	ft := &Model{NIC: &SimpleNIC{BaseLatency: simtime.Microsecond, BytesPerSecond: 10e9}, Switch: &FatTreeSwitch{
+		Radix:       4,
+		EdgeLatency: 500 * simtime.Nanosecond,
+		CoreLatency: 2 * simtime.Microsecond,
+	}}
+	const nodes = 8
+	lat := ft.LookaheadMatrix(nodes)
+	if len(lat) != nodes*nodes {
+		t.Fatalf("matrix length %d, want %d", len(lat), nodes*nodes)
+	}
+	probe := MinProbe()
+	min := simtime.Duration(-1)
+	for s := 0; s < nodes; s++ {
+		for d := 0; d < nodes; d++ {
+			got := lat[s*nodes+d]
+			if s == d {
+				if got != 0 {
+					t.Errorf("diagonal [%d][%d] = %v, want 0", s, d, got)
+				}
+				continue
+			}
+			if want := ft.FrameLatency(probe, s, d); got != want {
+				t.Errorf("[%d][%d] = %v, want probe latency %v", s, d, got, want)
+			}
+			if min < 0 || got < min {
+				min = got
+			}
+		}
+	}
+	if want := ft.MinLatency(nodes); min != want {
+		t.Errorf("matrix minimum %v, want MinLatency %v", min, want)
+	}
+	// The fat-tree has exactly two latency classes: intra-rack and
+	// inter-rack.
+	intra, inter := lat[0*nodes+1], lat[0*nodes+4]
+	if intra >= inter {
+		t.Errorf("intra-rack %v not below inter-rack %v", intra, inter)
+	}
+	if LookaheadMatrixOK := (&Model{NIC: &SimpleNIC{}, Switch: PerfectSwitch{}}).LookaheadMatrix(0); LookaheadMatrixOK != nil {
+		t.Errorf("LookaheadMatrix(0) = %v, want nil", LookaheadMatrixOK)
+	}
+}
+
 func TestMinLatencyUsesMinProbe(t *testing.T) {
 	// Under a serialization model the bound must come from the cheapest
 	// possible frame (Size 0), so it lower-bounds even a 1-byte frame.

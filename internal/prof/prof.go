@@ -50,6 +50,11 @@ const (
 	// CauseNoLookahead marks a topology with no positive minimum latency
 	// (zero-latency links admit same-instant cross-node causality).
 	CauseNoLookahead
+	// CausePartial marks a quantum with Q above the global minimum latency
+	// but below some per-link bounds: the lookahead-closed partitioning
+	// (DESIGN.md §11) leaves at least one loose node on the fast path while
+	// tight partitions fall back to the event queue.
+	CausePartial
 
 	numCauses
 )
@@ -65,8 +70,35 @@ func (c Cause) String() string {
 		return "output-queue-tap"
 	case CauseNoLookahead:
 		return "no-lookahead"
+	case CausePartial:
+		return "partially-engaged"
 	}
 	return "unknown"
+}
+
+// Grade describes one quantum's lookahead partition structure, computed by
+// the engine from the per-link lookahead matrix. The zero value means the
+// structure is unknown (scalar lookahead mode, a no-lookahead topology, or
+// the output-queue tap) and engagement stays the scalar boolean.
+type Grade struct {
+	// Known is true when the engine derived a partitioning for the quantum.
+	Known bool
+	// Partitions is the total partition count (tight components plus loose
+	// singletons); TightPartitions the multi-node components among them.
+	Partitions      int
+	TightPartitions int
+	// FastNodes counts the loose singletons — the nodes the graded fast
+	// path walks without the event queue.
+	FastNodes int
+	// MaxTightLat is the largest tight-link latency (the partitioning's
+	// level); zero when the quantum is fully loose. The tight-link set is
+	// exactly the links with latency <= MaxTightLat, so the value uniquely
+	// identifies the partition structure.
+	MaxTightLat simtime.Duration
+	// TightLinks ranks the directed links binding partitions together,
+	// ascending by latency, truncated; TightLinkCount is the full count.
+	TightLinks     []LinkRef
+	TightLinkCount int64
 }
 
 // Seg classifies a per-node host-time segment.
@@ -161,10 +193,21 @@ type Profiler struct {
 	// current quantum state
 	curQ     simtime.Duration
 	curCause Cause
+	curFast  int // fast-walkable nodes this quantum
 
 	quanta      int64
 	causes      [numCauses]int64
-	engagedHost simtime.Duration // Span summed over eligible quanta
+	engagedHost simtime.Duration // Span summed over fully eligible quanta
+	partialHost simtime.Duration // Span summed over partially engaged quanta
+
+	// Graded (node-level) engagement: fastNodeQuanta sums the fast-walkable
+	// node count over quanta, nodeQuanta the cluster size over quanta.
+	fastNodeQuanta int64
+	nodeQuanta     int64
+
+	// partLevels accumulates quanta per partition structure, keyed by the
+	// structure's level (its largest tight-link latency).
+	partLevels map[simtime.Duration]*partLevelAcc
 
 	totCompute simtime.Duration
 	totIdle    simtime.Duration
@@ -175,11 +218,12 @@ type Profiler struct {
 	packets    int64
 	stragglers int64
 
-	hQuantum *Hist // Q per quantum (ns)
-	hPackets *Hist // frames per quantum
-	hWait    *Hist // per-node barrier wait per quantum (ns)
-	hLatency *Hist // per-frame latency (ns)
-	hSlack   *Hist // per-frame slack = latency - Q (ns, signed)
+	hQuantum  *Hist // Q per quantum (ns)
+	hPackets  *Hist // frames per quantum
+	hWait     *Hist // per-node barrier wait per quantum (ns)
+	hLatency  *Hist // per-frame latency (ns)
+	hSlack    *Hist // per-frame slack = latency - Q (ns, signed)
+	hPartWait *Hist // per-partition barrier wait per quantum (ns)
 
 	slackMin    simtime.Duration
 	haveSlack   bool
@@ -195,13 +239,21 @@ type Profiler struct {
 // ParallelConfig.Profiler); the engine calls RunStart.
 func New() *Profiler {
 	return &Profiler{
-		links:    make(map[[2]int]*linkAcc),
-		hQuantum: &Hist{},
-		hPackets: &Hist{},
-		hWait:    &Hist{},
-		hLatency: &Hist{},
-		hSlack:   &Hist{},
+		links:      make(map[[2]int]*linkAcc),
+		partLevels: make(map[simtime.Duration]*partLevelAcc),
+		hQuantum:   &Hist{},
+		hPackets:   &Hist{},
+		hWait:      &Hist{},
+		hLatency:   &Hist{},
+		hSlack:     &Hist{},
+		hPartWait:  &Hist{},
 	}
+}
+
+// partLevelAcc accumulates the quanta spent at one partition structure.
+type partLevelAcc struct {
+	grade  Grade
+	quanta int64
 }
 
 // maxMinLatencyLinks bounds the MinLatencyLinks listing: a uniform fabric
@@ -259,20 +311,36 @@ func (p *Profiler) probeMinLinksLocked() {
 }
 
 // BeginQuantum opens quantum accounting: it classifies fast-path eligibility
-// for a quantum of size q and remembers q for slack computation.
-func (p *Profiler) BeginQuantum(index int, q simtime.Duration) {
+// for a quantum of size q, folds the quantum's partition grade into the
+// graded-engagement accounting, and remembers q for slack computation.
+func (p *Profiler) BeginQuantum(index int, q simtime.Duration, g Grade) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.curQ = q
+	p.curFast = 0
 	switch {
 	case p.meta.OutputQueue:
 		p.curCause = CauseOutputTap
 	case p.meta.Lookahead <= 0:
 		p.curCause = CauseNoLookahead
-	case q > p.meta.Lookahead:
-		p.curCause = CauseQExceedsLookahead
-	default:
+	case q <= p.meta.Lookahead:
 		p.curCause = CauseEngaged
+		p.curFast = p.meta.Nodes
+	case g.Known && g.FastNodes > 0:
+		p.curCause = CausePartial
+		p.curFast = g.FastNodes
+	default:
+		p.curCause = CauseQExceedsLookahead
+	}
+	p.nodeQuanta += int64(p.meta.Nodes)
+	p.fastNodeQuanta += int64(p.curFast)
+	if g.Known {
+		lv := p.partLevels[g.MaxTightLat]
+		if lv == nil {
+			lv = &partLevelAcc{grade: g}
+			p.partLevels[g.MaxTightLat] = lv
+		}
+		lv.quanta++
 	}
 	if p.LiveMetrics != nil {
 		var v int64
@@ -280,6 +348,7 @@ func (p *Profiler) BeginQuantum(index int, q simtime.Duration) {
 			v = 1
 		}
 		p.LiveMetrics.SetGauge("fastpath_eligible", v)
+		p.LiveMetrics.SetGauge("fastpath_fast_nodes", int64(p.curFast))
 	}
 }
 
@@ -315,6 +384,21 @@ func (p *Profiler) NodeWait(node int, d simtime.Duration) {
 		p.totWait += d
 	}
 	p.hWait.Observe(int64(d))
+}
+
+// PartitionWait records the barrier wait of one lookahead partition for the
+// current quantum: the host time between the partition's last member
+// finishing and the global barrier releasing everyone. In the deterministic
+// engine the value is derived from simulated time for every engine path, so
+// it stays byte-identical across Workers settings; the parallel runner feeds
+// real wall-clock waits.
+func (p *Profiler) PartitionWait(d simtime.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	p.hPartWait.Observe(int64(d))
 }
 
 // Frame records one routed frame on the directed link src->dst with the
@@ -363,8 +447,11 @@ func (p *Profiler) EndQuantum(qs QuantumStats) {
 	defer p.mu.Unlock()
 	p.quanta++
 	p.causes[p.curCause]++
-	if p.curCause == CauseEngaged {
+	switch p.curCause {
+	case CauseEngaged:
 		p.engagedHost += qs.Span
+	case CausePartial:
+		p.partialHost += qs.Span
 	}
 	p.totRouting += qs.Routing
 	p.totBarrier += qs.Barrier
@@ -412,6 +499,10 @@ func (p *Profiler) Report() *Report {
 
 	r.Engagement.EligibleQuanta = p.causes[CauseEngaged]
 	r.Engagement.EligibleHostNS = int64(p.engagedHost)
+	r.Engagement.PartialQuanta = p.causes[CausePartial]
+	r.Engagement.PartialHostNS = int64(p.partialHost)
+	r.Engagement.FastNodeQuanta = p.fastNodeQuanta
+	r.Engagement.NodeQuanta = p.nodeQuanta
 	for c := Cause(0); c < numCauses; c++ {
 		if p.causes[c] == 0 {
 			continue
@@ -495,12 +586,33 @@ func (p *Profiler) Report() *Report {
 	r.MinLatencyLinks = append([]LinkRef(nil), p.minLinks...)
 	r.MinLatencyTied = p.minLinksAll
 
+	// Partition-structure table, one row per observed lookahead level,
+	// ascending (fully loose first, whole-cluster-tight last).
+	lvls := make([]simtime.Duration, 0, len(p.partLevels))
+	for k := range p.partLevels {
+		lvls = append(lvls, k)
+	}
+	sort.Slice(lvls, func(i, j int) bool { return lvls[i] < lvls[j] })
+	for _, k := range lvls {
+		lv := p.partLevels[k]
+		r.Partitions = append(r.Partitions, PartitionLevel{
+			MaxTightLatNS:   int64(k),
+			Partitions:      lv.grade.Partitions,
+			TightPartitions: lv.grade.TightPartitions,
+			FastNodes:       lv.grade.FastNodes,
+			Quanta:          lv.quanta,
+			TightLinks:      append([]LinkRef(nil), lv.grade.TightLinks...),
+			TightLinkCount:  lv.grade.TightLinkCount,
+		})
+	}
+
 	r.Hists = []NamedHist{
 		{Name: "quantum_ns", Hist: p.hQuantum.Snapshot()},
 		{Name: "packets_per_quantum", Hist: p.hPackets.Snapshot()},
 		{Name: "node_wait_ns", Hist: p.hWait.Snapshot()},
 		{Name: "frame_latency_ns", Hist: p.hLatency.Snapshot()},
 		{Name: "frame_slack_ns", Hist: p.hSlack.Snapshot()},
+		{Name: "partition_wait_ns", Hist: p.hPartWait.Snapshot()},
 	}
 	return r
 }

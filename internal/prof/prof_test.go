@@ -46,7 +46,7 @@ func TestCauseClassification(t *testing.T) {
 	for _, c := range cases {
 		p := New()
 		p.RunStart(c.meta)
-		p.BeginQuantum(0, c.q)
+		p.BeginQuantum(0, c.q, Grade{})
 		p.EndQuantum(QuantumStats{})
 		rep := p.Report()
 		if len(rep.Engagement.Causes) != 1 || rep.Engagement.Causes[0].Cause != c.want.String() {
@@ -62,6 +62,63 @@ func TestCauseClassification(t *testing.T) {
 	}
 }
 
+func TestGradedEngagement(t *testing.T) {
+	p := New()
+	p.RunStart(RunMeta{Engine: "deterministic", Nodes: 4, Policy: "fixed", Lookahead: 1000})
+	// Fully engaged: Q at the global minimum, all partitions loose.
+	p.BeginQuantum(0, 1000, Grade{Known: true, Partitions: 4, FastNodes: 4})
+	p.EndQuantum(QuantumStats{Span: 100})
+	// Partially engaged: one tight pair, two loose singletons.
+	partial := Grade{
+		Known: true, Partitions: 3, TightPartitions: 1, FastNodes: 2,
+		MaxTightLat: 1500,
+		TightLinks: []LinkRef{
+			{Src: 0, Dst: 1, LatencyNS: 1500},
+			{Src: 1, Dst: 0, LatencyNS: 1500},
+		},
+		TightLinkCount: 2,
+	}
+	p.BeginQuantum(1, 2000, partial)
+	p.EndQuantum(QuantumStats{Span: 200})
+	p.BeginQuantum(2, 2000, partial)
+	p.EndQuantum(QuantumStats{Span: 300})
+	// Whole cluster tight: Q above every link.
+	p.BeginQuantum(3, 9000, Grade{Known: true, Partitions: 1, TightPartitions: 1, MaxTightLat: 5000, TightLinkCount: 12})
+	p.EndQuantum(QuantumStats{Span: 400})
+	p.RunEnd(10000, 1000)
+	rep := p.Report()
+
+	e := rep.Engagement
+	if e.EligibleQuanta != 1 || e.PartialQuanta != 2 || e.PartialHostNS != 500 {
+		t.Fatalf("engagement: %+v", e)
+	}
+	if e.NodeQuanta != 16 || e.FastNodeQuanta != 4+2+2 {
+		t.Fatalf("node quanta: %+v", e)
+	}
+	wantCauses := []CauseCount{
+		{Cause: "engaged", Quanta: 1},
+		{Cause: "partially-engaged", Quanta: 2},
+		{Cause: "q-exceeds-lookahead", Quanta: 1},
+	}
+	if !reflect.DeepEqual(e.Causes, wantCauses) {
+		t.Fatalf("causes: %+v", e.Causes)
+	}
+	if len(rep.Partitions) != 3 {
+		t.Fatalf("partition levels: %+v", rep.Partitions)
+	}
+	if rep.Partitions[0].MaxTightLatNS != 0 || rep.Partitions[0].FastNodes != 4 || rep.Partitions[0].Quanta != 1 {
+		t.Fatalf("level 0: %+v", rep.Partitions[0])
+	}
+	lv := rep.Partitions[1]
+	if lv.MaxTightLatNS != 1500 || lv.Quanta != 2 || lv.TightPartitions != 1 ||
+		len(lv.TightLinks) != 2 || lv.TightLinks[0].Src != 0 {
+		t.Fatalf("level 1500: %+v", lv)
+	}
+	if rep.Partitions[2].Partitions != 1 || rep.Partitions[2].TightLinkCount != 12 {
+		t.Fatalf("level 5000: %+v", rep.Partitions[2])
+	}
+}
+
 // fakeProfile drives a profiler through a tiny deterministic run.
 func fakeProfile() *Profiler {
 	p := New()
@@ -74,7 +131,7 @@ func fakeProfile() *Profiler {
 			return 2000
 		},
 	})
-	p.BeginQuantum(0, 500)
+	p.BeginQuantum(0, 500, Grade{})
 	p.Segment(0, SegBusy, 400)
 	p.Segment(1, SegIdle, 300)
 	p.Frame(0, 1, 1000) // slack +500
@@ -82,7 +139,7 @@ func fakeProfile() *Profiler {
 	p.NodeWait(0, 0)
 	p.NodeWait(1, 100)
 	p.EndQuantum(QuantumStats{Span: 600, Routing: 40, Barrier: 20, Packets: 2})
-	p.BeginQuantum(1, 4000)
+	p.BeginQuantum(1, 4000, Grade{})
 	p.Segment(0, SegBusy, 900)
 	p.Segment(1, SegIdle, -50) // straggler refund
 	p.Frame(0, 1, 1000)        // slack -3000: limiting link
@@ -163,7 +220,7 @@ func TestSweepOrderIndependent(t *testing.T) {
 		for _, l := range labels {
 			p := s.New(l)
 			p.RunStart(RunMeta{Engine: "deterministic", Nodes: 1, Policy: l})
-			p.BeginQuantum(0, 10)
+			p.BeginQuantum(0, 10, Grade{})
 			p.EndQuantum(QuantumStats{Span: 10})
 			p.RunEnd(10, 12)
 		}
@@ -192,7 +249,7 @@ func TestSweepCollapsesIdenticalDuplicates(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		p := s.New("same/label")
 		p.RunStart(RunMeta{Engine: "deterministic", Nodes: 1, Policy: "p"})
-		p.BeginQuantum(0, 10)
+		p.BeginQuantum(0, 10, Grade{})
 		p.EndQuantum(QuantumStats{Span: 10})
 		p.RunEnd(10, 12)
 	}

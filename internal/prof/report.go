@@ -19,14 +19,49 @@ type CauseCount struct {
 	Quanta int64  `json:"quanta"`
 }
 
-// Engagement summarizes fast-path eligibility over the run.
+// Engagement summarizes fast-path eligibility over the run. Engagement is
+// graded: a quantum is fully eligible (Q at or below every link's
+// lookahead), partially engaged (some lookahead partitions loose, some
+// tight), or ineligible.
 type Engagement struct {
 	// EligibleQuanta counts quanta with Q <= lookahead and no tap.
 	EligibleQuanta int64 `json:"eligible_quanta"`
 	// EligibleHostNS is the host time those quanta spanned.
 	EligibleHostNS int64 `json:"eligible_host_ns"`
+	// PartialQuanta counts partially engaged quanta: Q above the global
+	// minimum latency but with at least one loose node under the per-link
+	// partitioning; PartialHostNS is the host time they spanned.
+	PartialQuanta int64 `json:"partial_quanta"`
+	PartialHostNS int64 `json:"partial_host_ns"`
+	// FastNodeQuanta sums fast-walkable nodes over quanta and NodeQuanta
+	// the cluster size over quanta, so FastNodeQuanta/NodeQuanta is the
+	// node-level engagement fraction of the run.
+	FastNodeQuanta int64 `json:"fast_node_quanta"`
+	NodeQuanta     int64 `json:"node_quanta"`
 	// Causes breaks every quantum down by cause, sorted by cause name.
 	Causes []CauseCount `json:"causes,omitempty"`
+}
+
+// PartitionLevel is one row of the partition-structure table: the
+// lookahead-closed partitioning the cluster falls into for every quantum
+// whose Q lies in one band of the latency matrix's distinct values.
+type PartitionLevel struct {
+	// MaxTightLatNS is the level: the largest tight-link latency. The
+	// tight-link set — and so the whole structure — is exactly the links
+	// with latency at or below it. Zero means fully loose.
+	MaxTightLatNS int64 `json:"max_tight_lat_ns"`
+	// Partitions counts the partitions (tight components plus loose
+	// singletons); TightPartitions the multi-node components among them.
+	Partitions      int `json:"partitions"`
+	TightPartitions int `json:"tight_partitions"`
+	// FastNodes counts the loose singletons walked on the fast path.
+	FastNodes int `json:"fast_nodes"`
+	// Quanta counts the quanta run at this structure.
+	Quanta int64 `json:"quanta"`
+	// TightLinks ranks the links binding partitions together, ascending by
+	// latency, truncated; TightLinkCount has the full count.
+	TightLinks     []LinkRef `json:"tight_links,omitempty"`
+	TightLinkCount int64     `json:"tight_link_count,omitempty"`
 }
 
 // Totals is the run-wide host-time decomposition. For the deterministic
@@ -113,6 +148,10 @@ type Report struct {
 	// count (a uniform fabric ties every pair).
 	MinLatencyLinks []LinkRef `json:"min_latency_links,omitempty"`
 	MinLatencyTied  int64     `json:"min_latency_tied,omitempty"`
+	// Partitions is the partition-structure table: one row per lookahead
+	// level the run's quanta actually hit, ascending. Empty when the engine
+	// ran with scalar lookahead (or no lookahead at all).
+	Partitions []PartitionLevel `json:"partitions,omitempty"`
 
 	Hists []NamedHist `json:"hists,omitempty"`
 }
