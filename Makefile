@@ -3,7 +3,7 @@
 GO ?= go
 SIMLINT := $(CURDIR)/bin/simlint
 
-.PHONY: all build test race lint simlint vet-simlint fmt clean
+.PHONY: all build test race bench lint simlint vet-simlint fmt clean
 
 all: build test simlint
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The three headline benchmarks whose numbers are recorded in BENCH_*.json:
+# the engine core across worker counts (GroundTruthQuanta), the parallel
+# runner's barrier + routing path (ParallelBarrier), and the partitioned
+# fast path (FastPathRack). -benchmem because the arena engine's allocation
+# counts are load-bearing (see the alloc gates in internal/cluster).
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkGroundTruthQuanta|BenchmarkParallelBarrier|BenchmarkFastPathRack' -benchtime=2s -benchmem ./internal/cluster/
 
 # simlint smoke: the determinism analyzer suite over the whole module.
 # Exits non-zero on any finding that is not covered by a justified

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"clustersim/internal/simtime"
+	"clustersim/internal/workloads"
+)
+
+// The arena refactor's headline allocation guarantee (DESIGN.md §12): after
+// warm-up, advancing a quantum costs zero heap allocations in the classic
+// walk, and the batched router's only per-quantum allocations are the
+// unavoidable per-message guest buffers. One run's setup (nodes, arenas,
+// queues) does allocate, so the steady-state rate is isolated by differencing
+// two runs that are identical except for their length: setup cancels and the
+// remainder is pure per-quantum cost.
+
+// allocsForRun measures the average allocations of one full Run of cfg and
+// returns it together with the run's quantum count.
+func allocsForRun(t *testing.T, cfg Config) (allocs float64, quanta int) {
+	t.Helper()
+	run := func() {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quanta = res.Stats.Quanta
+	}
+	return testing.AllocsPerRun(5, run), quanta
+}
+
+// TestClassicWalkZeroAllocsPerQuantum pins the classic event-queue walk at
+// zero steady-state allocations per quantum: a 10x longer silent run must
+// allocate exactly as much as a short one.
+func TestClassicWalkZeroAllocsPerQuantum(t *testing.T) {
+	// Q well above the Paper model's minimum latency keeps walks==nil off
+	// the fast path, so every quantum runs the event-queue engine.
+	const q = 50 * simtime.Microsecond
+	short := testConfig(4, workloads.Silent(1*simtime.Millisecond), fixed(q))
+	long := testConfig(4, workloads.Silent(10*simtime.Millisecond), fixed(q))
+
+	aShort, qShort := allocsForRun(t, short)
+	aLong, qLong := allocsForRun(t, long)
+	if qLong <= qShort {
+		t.Fatalf("long run (%d quanta) not longer than short run (%d quanta)", qLong, qShort)
+	}
+	perQuantum := (aLong - aShort) / float64(qLong-qShort)
+	t.Logf("classic walk: short %v allocs / %d quanta, long %v allocs / %d quanta, steady state %.4f allocs/quantum",
+		aShort, qShort, aLong, qLong, perQuantum)
+	if perQuantum != 0 {
+		t.Errorf("classic walk steady state allocates: %.4f allocs/quantum (want exactly 0)", perQuantum)
+	}
+}
+
+// TestBatchedRouterAllocsPerQuantum pins the fast path's batched router:
+// per-quantum allocations must come only from the per-message guest buffers
+// (payload copy plus block-amortized frame/message carves), never from the
+// engine's routing structures. The workloads differ only in phase count, so
+// the per-quantum difference is the cost of extra communicating quanta.
+func TestBatchedRouterAllocsPerQuantum(t *testing.T) {
+	// Q=1µs is below the Paper model's minimum latency: every quantum is
+	// provably safe, runs runQuantumFast and routes through routeBatch.
+	const q = 1 * simtime.Microsecond
+	mk := func(phases int) Config {
+		cfg := testConfig(4, workloads.Phases(phases, 150*simtime.Microsecond, 32<<10), fixed(q))
+		cfg.Workers = 1
+		return cfg
+	}
+	aShort, qShort := allocsForRun(t, mk(2))
+	aLong, qLong := allocsForRun(t, mk(8))
+	if qLong <= qShort {
+		t.Fatalf("long run (%d quanta) not longer than short run (%d quanta)", qLong, qShort)
+	}
+	perQuantum := (aLong - aShort) / float64(qLong-qShort)
+	t.Logf("batched router: short %v allocs / %d quanta, long %v allocs / %d quanta, steady state %.4f allocs/quantum",
+		aShort, qShort, aLong, qLong, perQuantum)
+	// Six extra alltoall phases are 72 extra 8KB messages; each costs one
+	// payload buffer plus 3/64ths of a block carve. Everything else — the
+	// flight slab, the batch and delivery buffers, the event arena — must
+	// be reused, so the steady state stays far below one alloc per quantum.
+	if perQuantum >= 0.5 {
+		t.Errorf("batched router steady state allocates %.4f allocs/quantum (want < 0.5: only per-message guest buffers)", perQuantum)
+	}
+}

@@ -22,7 +22,7 @@ import (
 var ErrGuestLimit = errors.New("cluster: guest time limit exceeded before workloads finished")
 
 // event kinds in the host-time queue.
-type evKind int
+type evKind int32
 
 const (
 	evFrame evKind = iota // a frame reaches the controller/destination
@@ -39,20 +39,18 @@ const (
 	priStep  = 2
 )
 
+// event is a queue entry: 12 bytes, all indices. Frame events carry only the
+// flight-arena index (DESIGN.md §12) — the frame pointer, endpoints and
+// timestamps live in the flight record; wake events read their guest target
+// from the node arena's wakeG lane. The previous layout carried all of that
+// inline (a 72-byte payload copied through every heap operation).
 type event struct {
 	kind evKind
-	node int
-	// frame fields
-	frame *pkt.Frame
-	src   int
-	dst   int
-	tSend simtime.Guest // guest time the frame left the source workload
-	tD    simtime.Guest // exact simulated arrival time
-	// wake field
-	gTarget simtime.Guest
+	node int32 // evStep/evWake: the node to act on
+	fi   int32 // evFrame: index into the quantum's flight arena
 }
 
-type nodePhase int
+type nodePhase int32
 
 const (
 	phRunning nodePhase = iota // executing; a segment/step event is pending
@@ -60,36 +58,97 @@ const (
 	phAtLimit                  // reached the quantum boundary
 )
 
-type nodeState struct {
-	n     *guest.Node
-	phase nodePhase
+// nodeArena holds every per-node engine field as parallel slices indexed by
+// node — structure-of-arrays instead of the previous []*nodeState pointer
+// farm. The layout is flat and trivially copyable (a snapshot is one copy()
+// per lane, no pointer graph to chase beyond the guest nodes themselves),
+// which is the substrate the roadmap's optimistic checkpoint/rollback engine
+// needs; see DESIGN.md §12.
+//
+// Concurrency: during fast-path walks, worker goroutines touch only their
+// own node's index in each lane; the engine's barrier provides the
+// happens-before edge between quanta, exactly as it did for the per-node
+// structs.
+type nodeArena struct {
+	node  []*guest.Node
+	phase []nodePhase
 
 	// Execution cursor: the host time corresponding to the node's position
 	// at the *end* of the current segment. While a segment is in flight,
-	// interpolate with the segment fields below.
-	hostNow simtime.Host
+	// interpolate with the segment lanes below.
+	hostNow []simtime.Host
 
 	// Current segment (busy execution or idle wait) for interpolating the
 	// node's guest position at an arbitrary host instant.
-	inSeg      bool
-	segMode    host.Mode
-	segStartG  simtime.Guest
-	segStartH  simtime.Host
-	segEndG    simtime.Guest
-	segEndH    simtime.Host
-	wakeEv     eventq.Handle // cancellable pending wake (zero = none)
-	doneIdling bool          // workload finished; idling to each barrier
+	inSeg     []bool
+	segMode   []host.Mode
+	segStartG []simtime.Guest
+	segStartH []simtime.Host
+	segEndG   []simtime.Guest
+	segEndH   []simtime.Host
 
-	txFree     simtime.Guest // guest time the NIC's transmitter frees up
-	finishHost simtime.Host  // host time the node reached the current barrier
-	doneHost   simtime.Host  // host time the workload finished
+	wakeEv     []eventq.Handle // cancellable pending wake (zero = none)
+	wakeG      []simtime.Guest // pending wake's guest target
+	doneIdling []bool          // workload finished; idling to each barrier
+
+	txFree     []simtime.Guest // guest time the NIC's transmitter frees up
+	finishHost []simtime.Host  // host time the node reached the current barrier
+	doneHost   []simtime.Host  // host time the workload finished
+}
+
+func newNodeArena(n int) nodeArena {
+	return nodeArena{
+		node:       make([]*guest.Node, n),
+		phase:      make([]nodePhase, n),
+		hostNow:    make([]simtime.Host, n),
+		inSeg:      make([]bool, n),
+		segMode:    make([]host.Mode, n),
+		segStartG:  make([]simtime.Guest, n),
+		segStartH:  make([]simtime.Host, n),
+		segEndG:    make([]simtime.Guest, n),
+		segEndH:    make([]simtime.Host, n),
+		wakeEv:     make([]eventq.Handle, n),
+		wakeG:      make([]simtime.Guest, n),
+		doneIdling: make([]bool, n),
+		txFree:     make([]simtime.Guest, n),
+		finishHost: make([]simtime.Host, n),
+		doneHost:   make([]simtime.Host, n),
+	}
+}
+
+// flight is one frame in flight through the controller: the interned record
+// an evFrame event (or a barrier batch entry) points at. Flights live in a
+// per-quantum slab — every frame sent in a quantum is also routed in it, so
+// the slab resets to length zero at each quantum start and reaches a steady
+// state with no allocation.
+type flight struct {
+	f        *pkt.Frame
+	src, dst int32
+	tSend    simtime.Guest // guest time the frame left the source workload
+	tD       simtime.Guest // exact simulated arrival time
+}
+
+// routed is one barrier-batch entry: a flight and the controller-arrival
+// host time the classic engine would have dispatched it at.
+type routed struct {
+	h  simtime.Host
+	fi int32
+}
+
+// pendDeliv is one surviving frame copy awaiting the batched per-destination
+// push: the route pass classifies and records every copy in canonical order,
+// then the delivery pass hands contiguous per-destination runs to the guest.
+type pendDeliv struct {
+	dst int32
+	f   *pkt.Frame
+	arr simtime.Guest
 }
 
 // engine runs one configuration.
 type engine struct {
 	cfg    Config
 	hm     *host.Model
-	nodes  []*nodeState
+	na     nodeArena
 	q      eventq.Queue[event]
 	policy quantum.Policy
 	// obs mirrors cfg.Observer; every hook site is guarded by a nil check so
@@ -100,6 +159,21 @@ type engine struct {
 	// portFree tracks, per destination, when its switch output port frees
 	// up (guest time); used only when the net model has an OutputQueue.
 	portFree []simtime.Guest
+
+	// flights is the quantum's flight slab; batch, pend, delivCnt, delivOff
+	// and delivSorted are the batched barrier router's reusable buffers
+	// (DESIGN.md §12).
+	flights     []flight
+	batch       []routed
+	pend        []pendDeliv
+	delivCnt    []int32
+	delivOff    []int32
+	delivSorted []guest.Arrival
+	// assembling: sendFrame ships frames into the barrier batch instead of
+	// routing or queueing them. batching: deliver records surviving copies
+	// in pend instead of pushing them to the guest one at a time.
+	assembling bool
+	batching   bool
 
 	limit     simtime.Guest // current quantum end
 	qStartH   simtime.Host  // barrier release that started the quantum
@@ -172,21 +246,21 @@ type phaseRec struct {
 	h0, h1 simtime.Host
 }
 
-// defEvent buffers one fully-computed cross-partition frame event that a
-// graded quantum defers to the barrier, with the controller-arrival host
-// time the classic engine would have dispatched it at.
+// defEvent buffers one fully-computed cross-partition flight that a graded
+// quantum defers to the barrier, with the controller-arrival host time the
+// classic engine would have dispatched it at.
 type defEvent struct {
 	h  simtime.Host
-	ev event
+	fi int32
 }
 
 // nodeWalk collects everything a fast-path node walk must publish at the
 // barrier: sends to route, observer hooks to replay, and the node's
 // contributions to global counters. Node-local state (finishHost, doneHost,
-// phase, ...) is written straight to the nodeState, which the walking worker
-// owns for the duration of the quantum. Buffers are reused across quanta.
-// During graded quanta the defs buffer additionally holds a tight node's
-// deferred cross-partition frames.
+// phase, ...) is written straight to the node arena, which the walking
+// worker owns for the duration of the quantum. Buffers are reused across
+// quanta. During graded quanta the defs buffer additionally holds a tight
+// node's deferred cross-partition flights.
 type nodeWalk struct {
 	sends  []sendRec
 	phases []phaseRec
@@ -209,15 +283,18 @@ func Run(cfg Config) (*Result, error) {
 		obs:    cfg.Observer,
 		prof:   cfg.Profiler,
 	}
+	e.hm.Reserve(cfg.Nodes)
 	defer e.shutdown()
-	e.nodes = make([]*nodeState, cfg.Nodes)
+	e.na = newNodeArena(cfg.Nodes)
 	e.portFree = make([]simtime.Guest, cfg.Nodes)
-	for i := range e.nodes {
+	e.delivCnt = make([]int32, cfg.Nodes)
+	e.delivOff = make([]int32, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
 		prog := cfg.Program(i, cfg.Nodes)
 		if prog == nil {
 			return nil, fmt.Errorf("cluster: nil program for rank %d", i)
 		}
-		e.nodes[i] = &nodeState{n: guest.NewNode(i, cfg.Nodes, cfg.Guest, prog)}
+		e.na.node[i] = guest.NewNode(i, cfg.Nodes, cfg.Guest, prog)
 	}
 	if fp := cfg.Faults; fp != nil && fp.HasSlowdown() {
 		e.slow = make([]float64, cfg.Nodes)
@@ -237,9 +314,9 @@ func Run(cfg Config) (*Result, error) {
 }
 
 func (e *engine) shutdown() {
-	for _, ns := range e.nodes {
-		if ns != nil {
-			ns.n.Shutdown()
+	for _, n := range e.na.node {
+		if n != nil {
+			n.Shutdown()
 		}
 	}
 	if e.pool != nil {
@@ -272,10 +349,10 @@ func (e *engine) initFast() {
 		return
 	}
 	e.walks = make([]nodeWalk, e.cfg.Nodes)
-	e.walkFn = func(i int) { e.walkNode(e.nodes[i], &e.walks[i], e.qStartH) }
+	e.walkFn = func(i int) { e.walkNode(i, &e.walks[i], e.qStartH) }
 	e.looseFn = func(k int) {
-		i := e.curPartit.loose[k]
-		e.walkNode(e.nodes[i], &e.walks[i], e.qStartH)
+		i := int(e.curPartit.loose[k])
+		e.walkNode(i, &e.walks[i], e.qStartH)
 	}
 	if w := e.cfg.Workers; w >= 2 {
 		if w > e.cfg.Nodes {
@@ -312,12 +389,15 @@ func (e *engine) run() error {
 		})
 	}
 
+	nodes := e.cfg.Nodes
 	for qi := 0; ; qi++ {
 		e.limit = start.Add(Q)
 		e.qStartH = hostNow
 		e.npQuantum = 0
 		e.strQuant = 0
 		e.lastEvtH = hostNow
+		e.flights = e.flights[:0]
+		e.batch = e.batch[:0]
 		if e.obs != nil {
 			e.obs.QuantumStart(qi, start, Q, hostNow)
 		}
@@ -338,7 +418,7 @@ func (e *engine) run() error {
 		switch {
 		case e.qElig:
 			e.res.Stats.FastFullQuanta++
-			e.res.Stats.FastNodeQuanta += e.cfg.Nodes
+			e.res.Stats.FastNodeQuanta += nodes
 		case part != nil && part.fastNodes > 0:
 			e.res.Stats.FastPartialQuanta++
 			e.res.Stats.FastNodeQuanta += part.fastNodes
@@ -367,20 +447,21 @@ func (e *engine) run() error {
 		case graded:
 			e.runQuantumGraded(hostNow, part)
 		default:
-			for _, ns := range e.nodes {
-				ns.n.BeginQuantum(e.limit)
-				ns.phase = phRunning
-				ns.hostNow = hostNow
-				ns.inSeg = false
-				ns.wakeEv = eventq.Handle{}
-				ns.finishHost = hostNow
-				if ns.n.Done() {
+			for i := 0; i < nodes; i++ {
+				n := e.na.node[i]
+				n.BeginQuantum(e.limit)
+				e.na.phase[i] = phRunning
+				e.na.hostNow[i] = hostNow
+				e.na.inSeg[i] = false
+				e.na.wakeEv[i] = eventq.Handle{}
+				e.na.finishHost[i] = hostNow
+				if n.Done() {
 					// A finished workload's simulator idles through the
 					// quantum (OS housekeeping only).
-					e.idleTo(ns, e.limit, hostNow)
+					e.idleTo(i, e.limit, hostNow)
 					continue
 				}
-				e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: ns.n.ID()})
+				e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: int32(i)})
 			}
 
 			for e.q.Len() > 0 {
@@ -392,8 +473,8 @@ func (e *engine) run() error {
 		// Barrier: wait for the slowest node and any late frames, pay the
 		// barrier cost plus the controller's per-packet occupancy.
 		maxH := e.lastEvtH
-		for _, ns := range e.nodes {
-			maxH = simtime.MaxHost(maxH, ns.finishHost)
+		for _, fh := range e.na.finishHost {
+			maxH = simtime.MaxHost(maxH, fh)
 		}
 		barrierEnd := maxH.
 			Add(e.cfg.Host.BarrierCost).
@@ -403,8 +484,8 @@ func (e *engine) run() error {
 			// Per-node barrier wait: finishing the quantum until the last
 			// arrival (the shared barrier+routing costs are attributed once,
 			// below, not per node).
-			for i, ns := range e.nodes {
-				e.prof.NodeWait(i, maxH.Sub(ns.finishHost))
+			for i := 0; i < nodes; i++ {
+				e.prof.NodeWait(i, maxH.Sub(e.na.finishHost[i]))
 			}
 			e.profPartitionWaits(part, maxH)
 			e.prof.EndQuantum(prof.QuantumStats{
@@ -421,7 +502,7 @@ func (e *engine) run() error {
 		hostNow = barrierEnd
 		start = e.limit
 
-		if e.doneCount == len(e.nodes) {
+		if e.doneCount == nodes {
 			break
 		}
 		if e.cfg.MaxGuest > 0 && start > e.cfg.MaxGuest {
@@ -438,11 +519,12 @@ func (e *engine) run() error {
 		}
 	}
 
-	for _, ns := range e.nodes {
-		e.res.NodeFinish = append(e.res.NodeFinish, ns.n.FinishedAt())
-		e.res.Metrics = append(e.res.Metrics, ns.n.Metrics())
-		e.res.GuestTime = simtime.MaxGuest(e.res.GuestTime, ns.n.FinishedAt())
-		if d := ns.doneHost; simtime.Duration(d) > e.res.HostTime {
+	for i := 0; i < nodes; i++ {
+		n := e.na.node[i]
+		e.res.NodeFinish = append(e.res.NodeFinish, n.FinishedAt())
+		e.res.Metrics = append(e.res.Metrics, n.Metrics())
+		e.res.GuestTime = simtime.MaxGuest(e.res.GuestTime, n.FinishedAt())
+		if d := e.na.doneHost[i]; simtime.Duration(d) > e.res.HostTime {
 			e.res.HostTime = simtime.Duration(d)
 		}
 	}
@@ -488,60 +570,63 @@ func (e *engine) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, 
 func (e *engine) dispatch(h simtime.Host, ev event) {
 	switch ev.kind {
 	case evStep:
-		e.stepNode(e.nodes[ev.node], h)
+		e.stepNode(int(ev.node), h)
 	case evWake:
-		ns := e.nodes[ev.node]
+		i := int(ev.node)
+		gTarget := e.na.wakeG[i]
 		if e.obs != nil {
 			// The idle segment's extent is only final here: deliveries may
 			// have re-aimed it since idleTo, so it is reported at its end.
-			e.obs.NodePhase(ev.node, obs.PhaseIdle, ns.segStartG, ev.gTarget, ns.segStartH, h)
+			e.obs.NodePhase(i, obs.PhaseIdle, e.na.segStartG[i], gTarget, e.na.segStartH[i], h)
 		}
-		ns.wakeEv = eventq.Handle{}
-		ns.inSeg = false
-		ns.hostNow = h
-		ns.n.WakeAt(ev.gTarget)
-		if ns.doneIdling {
+		e.na.wakeEv[i] = eventq.Handle{}
+		e.na.inSeg[i] = false
+		e.na.hostNow[i] = h
+		e.na.node[i].WakeAt(gTarget)
+		if e.na.doneIdling[i] {
 			// The finished node reached the barrier.
-			ns.phase = phAtLimit
-			ns.finishHost = h
+			e.na.phase[i] = phAtLimit
+			e.na.finishHost[i] = h
 			return
 		}
-		ns.phase = phRunning
-		e.stepNode(ns, h)
+		e.na.phase[i] = phRunning
+		e.stepNode(i, h)
 	case evFrame:
-		e.routeFrame(h, ev)
+		e.routeFlight(h, ev.fi)
 	}
 }
 
 // stepNode drives a node's Step loop from host time h until the node blocks,
 // starts a busy segment, reaches the limit, or finishes.
-func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
+func (e *engine) stepNode(i int, h simtime.Host) {
+	n := e.na.node[i]
 	for {
-		st := ns.n.Step()
+		st := n.Step()
 		switch st.Kind {
 		case guest.StepBusy:
-			cost := e.hostCost(ns.n.ID(), st.From, st.To, host.Busy)
+			cost := e.hostCost(i, st.From, st.To, host.Busy)
 			e.res.Stats.HostBusy += cost
 			if e.prof != nil {
-				e.prof.Segment(ns.n.ID(), prof.SegBusy, cost)
+				e.prof.Segment(i, prof.SegBusy, cost)
 			}
-			ns.inSeg = true
-			ns.segMode = host.Busy
-			ns.segStartG = st.From
-			ns.segStartH = h
-			ns.segEndG = st.To
-			ns.segEndH = h.Add(cost)
-			ns.hostNow = ns.segEndH
+			endH := h.Add(cost)
+			e.na.inSeg[i] = true
+			e.na.segMode[i] = host.Busy
+			e.na.segStartG[i] = st.From
+			e.na.segStartH[i] = h
+			e.na.segEndG[i] = st.To
+			e.na.segEndH[i] = endH
+			e.na.hostNow[i] = endH
 			if e.obs != nil {
 				// Busy segments always run to completion, so the extent is
 				// final at creation.
-				e.obs.NodePhase(ns.n.ID(), obs.PhaseBusy, st.From, st.To, h, ns.segEndH)
+				e.obs.NodePhase(i, obs.PhaseBusy, st.From, st.To, h, endH)
 			}
-			e.q.PushPri(int64(ns.segEndH), priStep, event{kind: evStep, node: ns.n.ID()})
+			e.q.PushPri(int64(endH), priStep, event{kind: evStep, node: int32(i)})
 			return
 
 		case guest.StepSend:
-			e.sendFrame(ns, h, st.To, st.Frame, false)
+			e.sendFrame(i, h, st.To, st.Frame)
 			// Sending costs no additional host time beyond the guest
 			// overhead already charged; keep stepping.
 
@@ -550,35 +635,34 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 			target = simtime.MinGuest(target, e.limit)
 			if target <= st.To {
 				// Blocked exactly at the quantum boundary.
-				ns.phase = phAtLimit
-				ns.inSeg = false
-				ns.finishHost = h
-				ns.hostNow = h
+				e.na.phase[i] = phAtLimit
+				e.na.inSeg[i] = false
+				e.na.finishHost[i] = h
+				e.na.hostNow[i] = h
 				return
 			}
-			e.idleTo(ns, target, h)
+			e.idleTo(i, target, h)
 			return
 
 		case guest.StepLimit:
-			ns.phase = phAtLimit
-			ns.inSeg = false
-			ns.finishHost = h
-			ns.hostNow = h
+			e.na.phase[i] = phAtLimit
+			e.na.inSeg[i] = false
+			e.na.finishHost[i] = h
+			e.na.hostNow[i] = h
 			return
 
 		case guest.StepDone:
 			if st.Err != nil && e.firstErr == nil {
-				e.firstErr = fmt.Errorf("cluster: rank %d: %w", ns.n.ID(), st.Err)
+				e.firstErr = fmt.Errorf("cluster: rank %d: %w", i, st.Err)
 			}
 			e.doneCount++
-			ns.doneHost = h
+			e.na.doneHost[i] = h
 			if e.obs != nil {
-				g := ns.n.Clock()
-				e.obs.NodePhase(ns.n.ID(), obs.PhaseDone, g, g, h, h)
+				g := n.Clock()
+				e.obs.NodePhase(i, obs.PhaseDone, g, g, h, h)
 			}
 			// The simulator keeps idling to the barrier.
-			e.idleTo(ns, e.limit, h)
-			ns.doneIdling = true
+			e.idleTo(i, e.limit, h)
 			return
 		}
 	}
@@ -586,71 +670,76 @@ func (e *engine) stepNode(ns *nodeState, h simtime.Host) {
 
 // idleTo puts the node into an idle segment from its current clock to guest
 // time target, scheduling the wake event.
-func (e *engine) idleTo(ns *nodeState, target simtime.Guest, h simtime.Host) {
-	from := ns.n.Clock()
+func (e *engine) idleTo(i int, target simtime.Guest, h simtime.Host) {
+	n := e.na.node[i]
+	from := n.Clock()
 	if target < from {
-		panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", ns.n.ID(), from, target))
+		panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", i, from, target))
 	}
-	cost := e.hostCost(ns.n.ID(), from, target, host.Idle)
+	cost := e.hostCost(i, from, target, host.Idle)
 	e.res.Stats.HostIdle += cost
 	if e.prof != nil {
-		e.prof.Segment(ns.n.ID(), prof.SegIdle, cost)
+		e.prof.Segment(i, prof.SegIdle, cost)
 	}
-	ns.phase = phIdle
-	ns.inSeg = true
-	ns.segMode = host.Idle
-	ns.segStartG = from
-	ns.segStartH = h
-	ns.segEndG = target
-	ns.segEndH = h.Add(cost)
-	ns.hostNow = ns.segEndH
-	ns.doneIdling = ns.n.Done()
-	ns.wakeEv = e.q.PushPri(int64(ns.segEndH), priWake, event{kind: evWake, node: ns.n.ID(), gTarget: target})
+	endH := h.Add(cost)
+	e.na.phase[i] = phIdle
+	e.na.inSeg[i] = true
+	e.na.segMode[i] = host.Idle
+	e.na.segStartG[i] = from
+	e.na.segStartH[i] = h
+	e.na.segEndG[i] = target
+	e.na.segEndH[i] = endH
+	e.na.hostNow[i] = endH
+	e.na.doneIdling[i] = n.Done()
+	e.na.wakeG[i] = target
+	e.na.wakeEv[i] = e.q.PushPri(int64(endH), priWake, event{kind: evWake, node: int32(i)})
 }
 
 // sendFrame models the source NIC (transmit queueing + serialization),
 // computes the exact simulated arrival time, and ships the frame to the
-// controller in host time. In the classic engine (immediate == false) the
-// frame becomes a queued event dispatched at its controller-arrival host
-// time; the fast path (immediate == true) routes it on the spot — every
-// destination is already at the barrier, so dispatch order no longer
-// matters and the queue round-trip is pure overhead. During a graded
-// quantum's tight-partition walks (curPart != nil), frames crossing the
-// current partition are instead deferred to the barrier: their destination
-// lies across a loose link, so the arrival time is provably at or past the
-// limit and routing them later is behavior-neutral (DESIGN.md §11).
-func (e *engine) sendFrame(ns *nodeState, h simtime.Host, tSend simtime.Guest, f *pkt.Frame, immediate bool) {
-	src := ns.n.ID()
-	depart := simtime.MaxGuest(tSend, ns.txFree)
+// controller in host time. In the classic engine the frame becomes an
+// interned flight plus a queued 12-byte event dispatched at its
+// controller-arrival host time. At the barrier (e.assembling) the flight
+// joins the quantum's batch instead — every destination is already there,
+// so dispatch order no longer matters and the queue round-trip is pure
+// overhead. During a graded quantum's tight-partition walks
+// (curPart != nil), frames crossing the current partition are deferred to
+// the barrier: their destination lies across a loose link, so the arrival
+// time is provably at or past the limit and routing them later is
+// behavior-neutral (DESIGN.md §11).
+func (e *engine) sendFrame(i int, h simtime.Host, tSend simtime.Guest, f *pkt.Frame) {
+	src := i
+	depart := simtime.MaxGuest(tSend, e.na.txFree[i])
 	ser := e.cfg.Net.NIC.Serialization(f)
 	depart = depart.Add(ser)
-	ns.txFree = depart
+	e.na.txFree[i] = depart
 
 	arrHost := h.Add(e.cfg.Host.PacketTransit)
 	ship := func(dst int) {
-		ev := event{
-			kind: evFrame, frame: f, src: src, dst: dst, tSend: tSend,
+		fi := int32(len(e.flights))
+		e.flights = append(e.flights, flight{
+			f: f, src: int32(src), dst: int32(dst), tSend: tSend,
 			tD: e.arrivalTime(f, src, dst, depart),
-		}
+		})
 		switch {
-		case immediate:
-			e.routeFrame(arrHost, ev)
+		case e.assembling:
+			e.batch = append(e.batch, routed{h: arrHost, fi: fi})
 		case e.curPart != nil && e.curPart[dst] != e.curPart[src]:
-			e.walks[src].defs = append(e.walks[src].defs, defEvent{h: arrHost, ev: ev})
+			e.walks[src].defs = append(e.walks[src].defs, defEvent{h: arrHost, fi: fi})
 		default:
-			e.q.PushPri(int64(arrHost), priFrame, ev)
+			e.q.PushPri(int64(arrHost), priFrame, event{kind: evFrame, fi: fi})
 		}
 	}
 	if f.Dst.IsBroadcast() {
-		for _, other := range e.nodes {
-			if dst := other.n.ID(); dst != src {
+		for dst := 0; dst < e.cfg.Nodes; dst++ {
+			if dst != src {
 				ship(dst)
 			}
 		}
 		return
 	}
 	dst := f.Dst.Node()
-	if dst < 0 || dst >= len(e.nodes) {
+	if dst < 0 || dst >= e.cfg.Nodes {
 		// A frame to an unknown MAC: the switch floods it nowhere (no
 		// other ports in this cluster). Count it as routed traffic.
 		e.npQuantum++
@@ -686,60 +775,61 @@ func (e *engine) hostCost(id int, from, to simtime.Guest, mode host.Mode) simtim
 	return c
 }
 
-// guestPos returns node ns's guest position at host time h.
-func (e *engine) guestPos(ns *nodeState, h simtime.Host) simtime.Guest {
-	if !ns.inSeg {
-		return ns.n.Clock()
+// guestPos returns node i's guest position at host time h.
+func (e *engine) guestPos(i int, h simtime.Host) simtime.Guest {
+	if !e.na.inSeg[i] {
+		return e.na.node[i].Clock()
 	}
-	if h >= ns.segEndH {
-		return ns.segEndG
+	if h >= e.na.segEndH[i] {
+		return e.na.segEndG[i]
 	}
-	if h <= ns.segStartH {
-		return ns.segStartG
+	if h <= e.na.segStartH[i] {
+		return e.na.segStartG[i]
 	}
-	elapsed := h.Sub(ns.segStartH)
+	elapsed := h.Sub(e.na.segStartH[i])
 	if e.slow != nil {
 		// A slowed node burns factor-times the host time per unit of guest
 		// progress; interpolate with the unscaled elapsed time.
-		elapsed = elapsed.Scale(1 / e.slow[ns.n.ID()])
+		elapsed = elapsed.Scale(1 / e.slow[i])
 	}
-	return e.hm.GuestAt(ns.n.ID(), ns.segStartG, elapsed, ns.segMode, ns.segEndG)
+	return e.hm.GuestAt(i, e.na.segStartG[i], elapsed, e.na.segMode[i], e.na.segEndG[i])
 }
 
-// routeFrame is the controller receiving one frame at host time h: it counts
-// the frame toward the quantum's traffic (drops included, so Algorithm 1's
-// np==0 test still sees lost traffic), applies loss/duplication/jitter
-// faults, and delivers the surviving copies per the paper's three cases.
-// Both engines funnel through here — the classic event queue dispatches it
-// at the frame's controller-arrival host time, the fast path calls it at the
-// barrier — so fault outcomes, which are pure per-frame functions, cannot
-// differ between paths.
-func (e *engine) routeFrame(h simtime.Host, ev event) {
+// routeFlight is the controller receiving one flight at host time h: it
+// counts the frame toward the quantum's traffic (drops included, so
+// Algorithm 1's np==0 test still sees lost traffic), applies
+// loss/duplication/jitter faults, and delivers the surviving copies per the
+// paper's three cases. Every path funnels through here — the classic event
+// queue dispatches it at the flight's controller-arrival host time, the
+// batched barrier router calls it in canonical order — so fault outcomes,
+// which are pure per-frame functions, cannot differ between paths.
+func (e *engine) routeFlight(h simtime.Host, fi int32) {
+	fl := e.flights[fi]
 	e.npQuantum++
 	e.res.Stats.Packets++
 	if h > e.lastEvtH {
 		e.lastEvtH = h
 	}
 	if e.prof != nil {
-		// Slack accounting uses the ideal (pre-fault) arrival: ev.tD is not
-		// yet jittered here, and both engine paths route the same frames
+		// Slack accounting uses the ideal (pre-fault) arrival: fl.tD is not
+		// yet jittered here, and every engine path routes the same flights
 		// with the same (tSend, tD), so the per-link accumulators — which
 		// are order-independent — match across paths exactly.
-		e.prof.Frame(ev.src, ev.dst, ev.tD.Sub(ev.tSend))
+		e.prof.Frame(int(fl.src), int(fl.dst), fl.tD.Sub(fl.tSend))
 	}
 	if e.cfg.LossRate > 0 &&
-		rng.HashFloat01(e.cfg.LossSeed, ev.frame.ID, uint64(ev.dst)) < e.cfg.LossRate {
+		rng.HashFloat01(e.cfg.LossSeed, fl.f.ID, uint64(fl.dst)) < e.cfg.LossRate {
 		e.res.Stats.Dropped++
 		return
 	}
 	if fp := e.cfg.Faults; fp != nil {
-		d := fp.Decide(ev.frame.ID, ev.src, ev.dst, ev.tSend)
+		d := fp.Decide(fl.f.ID, int(fl.src), int(fl.dst), fl.tSend)
 		if d.Drop {
 			e.res.Stats.Dropped++
 			if e.cfg.TracePackets || e.obs != nil {
 				e.emitPacket(PacketRecord{
-					SendGuest: ev.tSend, Ideal: ev.tD,
-					Src: ev.src, Dst: ev.dst, Size: ev.frame.Size,
+					SendGuest: fl.tSend, Ideal: fl.tD,
+					Src: int(fl.src), Dst: int(fl.dst), Size: fl.f.Size,
 					Dropped: true,
 				})
 			}
@@ -747,20 +837,20 @@ func (e *engine) routeFrame(h simtime.Host, ev event) {
 		}
 		// Injected delay only ever increases the arrival time, so the fast
 		// path's safety bound (tD >= limit under Q <= T) is preserved.
-		base := ev.tD
+		base := fl.tD
 		if d.Delay > 0 {
-			ev.tD = base.Add(d.Delay)
+			fl.tD = base.Add(d.Delay)
 		}
 		if d.Dup {
 			e.res.Stats.Duplicated++
-			dup := ev
+			dup := fl
 			dup.tD = base.Add(d.DupDelay)
-			e.deliver(h, ev, false)
+			e.deliver(h, fl, false)
 			e.deliver(h, dup, true)
 			return
 		}
 	}
-	e.deliver(h, ev, false)
+	e.deliver(h, fl, false)
 }
 
 // emitPacket routes one packet record to the trace slice and the observer.
@@ -776,26 +866,30 @@ func (e *engine) emitPacket(rec PacketRecord) {
 // deliver classifies one frame copy against the destination's progress and
 // hands it to the node — the tail of the paper's controller logic, shared by
 // the original and any fault-injected duplicate so each copy counts
-// independently in the straggler statistics.
-func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
+// independently in the straggler statistics. Under the batched barrier
+// router (e.batching) the copy is recorded for the per-destination delivery
+// pass instead of being pushed immediately; every destination is at the
+// barrier then, so the idle-wake adjustments below are provably dead in
+// that mode.
+func (e *engine) deliver(h simtime.Host, fl flight, dupCopy bool) {
 	e.res.Stats.Deliveries++
 
-	ns := e.nodes[ev.dst]
+	dst := int(fl.dst)
 	var arr simtime.Guest
 	straggler, snapped := false, false
 
-	if ns.phase == phAtLimit {
+	if e.na.phase[dst] == phAtLimit {
 		// Paper Figure 3(d): the destination already finished its quantum.
-		if ev.tD < e.limit {
+		if fl.tD < e.limit {
 			arr = e.limit // snaps to the next quantum boundary
 			straggler, snapped = true, true
 		} else {
-			arr = ev.tD // at or after the boundary: still exact
+			arr = fl.tD // at or after the boundary: still exact
 		}
 	} else {
-		g := e.guestPos(ns, h)
-		if ev.tD >= g {
-			arr = ev.tD // exact delivery (paper case 2)
+		g := e.guestPos(dst, h)
+		if fl.tD >= g {
+			arr = fl.tD // exact delivery (paper case 2)
 		} else {
 			arr = g // straggler: deliver immediately (paper case 3)
 			straggler = true
@@ -806,7 +900,7 @@ func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
 	if straggler {
 		st.Stragglers++
 		e.strQuant++
-		st.StragglerDelay += arr.Sub(ev.tD)
+		st.StragglerDelay += arr.Sub(fl.tD)
 		if snapped {
 			st.QuantumSnaps++
 		}
@@ -815,88 +909,149 @@ func (e *engine) deliver(h simtime.Host, ev event, dupCopy bool) {
 	}
 	if e.cfg.TracePackets || e.obs != nil {
 		e.emitPacket(PacketRecord{
-			SendGuest: ev.tSend, Ideal: ev.tD, Arrival: arr,
-			Src: ev.src, Dst: ev.dst, Size: ev.frame.Size,
+			SendGuest: fl.tSend, Ideal: fl.tD, Arrival: arr,
+			Src: int(fl.src), Dst: dst, Size: fl.f.Size,
 			Straggler: straggler, Snapped: snapped, Duplicate: dupCopy,
 		})
 	}
 
-	ns.n.Deliver(ev.frame, arr)
+	if e.batching {
+		e.pend = append(e.pend, pendDeliv{dst: fl.dst, f: fl.f, arr: arr})
+		return
+	}
+
+	e.na.node[dst].Deliver(fl.f, arr)
 
 	// If the destination is idling, the new arrival may change its wake
 	// time: a straggler wakes it right now; an exact future arrival earlier
 	// than its current target re-aims the wake.
-	if ns.phase != phIdle || ns.doneIdling {
+	if e.na.phase[dst] != phIdle || e.na.doneIdling[dst] {
 		return
 	}
 	if straggler {
-		if !e.q.Remove(ns.wakeEv) {
+		if !e.q.Remove(e.na.wakeEv[dst]) {
 			panic("cluster: idle node without a cancellable wake event")
 		}
 		// The cancelled tail of the idle segment is never simulated.
-		trunc := ns.segEndH.Sub(simtime.MaxHost(h, ns.segStartH))
+		trunc := e.na.segEndH[dst].Sub(simtime.MaxHost(h, e.na.segStartH[dst]))
 		e.res.Stats.HostIdle -= trunc
 		if e.prof != nil {
-			e.prof.Segment(ev.dst, prof.SegIdle, -trunc)
+			e.prof.Segment(dst, prof.SegIdle, -trunc)
 		}
 		if e.obs != nil {
 			// Report the truncated idle segment: the straggler cut it short.
-			e.obs.NodePhase(ev.dst, obs.PhaseIdle, ns.segStartG, arr,
-				ns.segStartH, simtime.MaxHost(h, ns.segStartH))
+			e.obs.NodePhase(dst, obs.PhaseIdle, e.na.segStartG[dst], arr,
+				e.na.segStartH[dst], simtime.MaxHost(h, e.na.segStartH[dst]))
 		}
-		ns.wakeEv = eventq.Handle{}
-		ns.inSeg = false
-		ns.hostNow = h
-		ns.n.WakeAt(arr)
-		ns.phase = phRunning
-		e.stepNode(ns, h)
+		e.na.wakeEv[dst] = eventq.Handle{}
+		e.na.inSeg[dst] = false
+		e.na.hostNow[dst] = h
+		e.na.node[dst].WakeAt(arr)
+		e.na.phase[dst] = phRunning
+		e.stepNode(dst, h)
 		return
 	}
-	if arr < ns.segEndG {
+	if arr < e.na.segEndG[dst] {
 		// Re-aim the idle segment at the earlier arrival.
-		if !e.q.Remove(ns.wakeEv) {
+		if !e.q.Remove(e.na.wakeEv[dst]) {
 			panic("cluster: idle node without a cancellable wake event")
 		}
-		cost := e.hostCost(ns.n.ID(), ns.segStartG, arr, host.Idle)
-		refund := ns.segEndH.Sub(ns.segStartH) - cost
+		cost := e.hostCost(dst, e.na.segStartG[dst], arr, host.Idle)
+		refund := e.na.segEndH[dst].Sub(e.na.segStartH[dst]) - cost
 		e.res.Stats.HostIdle -= refund
 		if e.prof != nil {
-			e.prof.Segment(ns.n.ID(), prof.SegIdle, -refund)
+			e.prof.Segment(dst, prof.SegIdle, -refund)
 		}
-		ns.segEndG = arr
-		ns.segEndH = ns.segStartH.Add(cost)
-		ns.hostNow = ns.segEndH
-		ns.wakeEv = e.q.PushPri(int64(ns.segEndH), priWake, event{kind: evWake, node: ns.n.ID(), gTarget: arr})
+		endH := e.na.segStartH[dst].Add(cost)
+		e.na.segEndG[dst] = arr
+		e.na.segEndH[dst] = endH
+		e.na.hostNow[dst] = endH
+		e.na.wakeG[dst] = arr
+		e.na.wakeEv[dst] = e.q.PushPri(int64(endH), priWake, event{kind: evWake, node: fl.dst})
+	}
+}
+
+// routeBatch routes the quantum's assembled barrier batch: one pass through
+// the flights in canonical (node, send-sequence) order — counters, fault
+// decisions, traces and observer hooks fire here in exactly the order the
+// one-at-a-time tail produced — then the surviving copies are delivered in
+// per-destination contiguous runs via a stable counting sort. Delivery
+// order within a destination is the batch order, and the guest receive
+// queue orders by (arrival, Frame.ID, push sequence), so regrouping is
+// invisible to the workload (DESIGN.md §12).
+func (e *engine) routeBatch() {
+	if len(e.batch) == 0 {
+		return
+	}
+	e.pend = e.pend[:0]
+	e.batching = true
+	for _, b := range e.batch {
+		e.routeFlight(b.h, b.fi)
+	}
+	e.batching = false
+
+	cnt := e.delivCnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for i := range e.pend {
+		cnt[e.pend[i].dst]++
+	}
+	off := e.delivOff
+	var sum int32
+	for d := range cnt {
+		off[d] = sum
+		sum += cnt[d]
+	}
+	if cap(e.delivSorted) < len(e.pend) {
+		e.delivSorted = make([]guest.Arrival, len(e.pend))
+	}
+	sorted := e.delivSorted[:len(e.pend)]
+	for i := range e.pend {
+		p := &e.pend[i]
+		sorted[off[p.dst]] = guest.Arrival{Frame: p.f, Time: p.arr}
+		off[p.dst]++
+	}
+	var start int32
+	for d := range cnt {
+		if cnt[d] == 0 {
+			continue
+		}
+		e.na.node[d].DeliverBatch(sorted[start:off[d]])
+		start = off[d]
 	}
 }
 
 // runQuantumFast executes one provably-safe quantum (Q <= eligLat): every
 // node is walked to the barrier independently — concurrently when a pool
 // exists — then the buffered per-node effects are folded into the global
-// state in node order, and all frames are routed in (node, send-sequence)
-// order. That canonical order is what makes the run bit-identical for every
-// Workers >= 1 value: workers only decide *who* walks a node, never the
-// order anything is published.
+// state in node order, and all frames are routed by the batched barrier
+// router in (node, send-sequence) order. That canonical order is what makes
+// the run bit-identical for every Workers >= 1 value: workers only decide
+// *who* walks a node, never the order anything is published.
 func (e *engine) runQuantumFast(hostNow simtime.Host) {
 	if e.pool != nil {
-		e.pool.Run(len(e.nodes), e.walkFn)
+		e.pool.Run(len(e.walks), e.walkFn)
 	} else {
-		for i := range e.nodes {
-			e.walkNode(e.nodes[i], &e.walks[i], hostNow)
+		for i := range e.walks {
+			e.walkNode(i, &e.walks[i], hostNow)
 		}
 	}
-	for i := range e.nodes {
+	for i := range e.walks {
 		e.foldWalk(i)
 	}
 	// Barrier routing. Every destination is phAtLimit and, by the safety
-	// bound, every arrival time tD is at or past the limit, so routeFrame
+	// bound, every arrival time tD is at or past the limit, so routeFlight
 	// classifies each delivery as exact — the same outcome the classic
 	// engine reaches for these frames, just without the event queue.
-	for i, ns := range e.nodes {
+	e.assembling = true
+	for i := range e.walks {
 		for _, s := range e.walks[i].sends {
-			e.sendFrame(ns, s.h, s.tSend, s.f, true)
+			e.sendFrame(i, s.h, s.tSend, s.f)
 		}
 	}
+	e.assembling = false
+	e.routeBatch()
 }
 
 // foldWalk folds node i's completed walk buffers into the global state —
@@ -916,7 +1071,7 @@ func (e *engine) foldWalk(i int) {
 	}
 	if wk.done {
 		if wk.err != nil && e.firstErr == nil {
-			e.firstErr = fmt.Errorf("cluster: rank %d: %w", e.nodes[i].n.ID(), wk.err)
+			e.firstErr = fmt.Errorf("cluster: rank %d: %w", i, wk.err)
 		}
 		e.doneCount++
 	}
@@ -938,25 +1093,26 @@ func (e *engine) foldWalk(i int) {
 // arrival is provably at or past the limit, so mid-quantum routing is
 // behavior-neutral); loose nodes are fast-walked exactly as in
 // runQuantumFast — concurrently when a pool exists — and everything
-// publishes at the barrier in canonical node order.
+// publishes at the barrier in canonical node order through the batched
+// router.
 func (e *engine) runQuantumGraded(hostNow simtime.Host, p *partitioning) {
 	e.curPart = p.part
 	for _, members := range p.tight {
 		for _, m := range members {
 			i := int(m)
-			ns := e.nodes[i]
 			e.walks[i].defs = e.walks[i].defs[:0]
-			ns.n.BeginQuantum(e.limit)
-			ns.phase = phRunning
-			ns.hostNow = hostNow
-			ns.inSeg = false
-			ns.wakeEv = eventq.Handle{}
-			ns.finishHost = hostNow
-			if ns.n.Done() {
-				e.idleTo(ns, e.limit, hostNow)
+			n := e.na.node[i]
+			n.BeginQuantum(e.limit)
+			e.na.phase[i] = phRunning
+			e.na.hostNow[i] = hostNow
+			e.na.inSeg[i] = false
+			e.na.wakeEv[i] = eventq.Handle{}
+			e.na.finishHost[i] = hostNow
+			if n.Done() {
+				e.idleTo(i, e.limit, hostNow)
 				continue
 			}
-			e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: i})
+			e.q.PushPri(int64(hostNow), priStep, event{kind: evStep, node: int32(i)})
 		}
 		for e.q.Len() > 0 {
 			ev := e.q.Pop()
@@ -970,29 +1126,33 @@ func (e *engine) runQuantumGraded(hostNow simtime.Host, p *partitioning) {
 		e.pool.Run(len(p.loose), e.looseFn)
 	} else {
 		for _, i := range p.loose {
-			e.walkNode(e.nodes[i], &e.walks[i], hostNow)
+			e.walkNode(int(i), &e.walks[i], hostNow)
 		}
 	}
 	for _, i := range p.loose {
 		e.foldWalk(int(i))
 	}
 
-	// Barrier publication in global node order: loose nodes replay their
-	// buffered sends, tight nodes route their deferred cross-partition
-	// frames at the controller-arrival host times the classic engine would
-	// have dispatched them at. Every arrival time is at or past the limit
-	// and every destination is at the barrier, so each delivery is exact.
-	for i, ns := range e.nodes {
+	// Barrier publication in global node order: loose nodes assemble their
+	// buffered sends, tight nodes enqueue their deferred cross-partition
+	// flights at the controller-arrival host times the classic engine would
+	// have dispatched them at; one batched route pass then handles both.
+	// Every arrival time is at or past the limit and every destination is
+	// at the barrier, so each delivery is exact.
+	e.assembling = true
+	for i := range e.walks {
 		if p.fastNode[i] {
 			for _, s := range e.walks[i].sends {
-				e.sendFrame(ns, s.h, s.tSend, s.f, true)
+				e.sendFrame(i, s.h, s.tSend, s.f)
 			}
 		} else {
 			for _, d := range e.walks[i].defs {
-				e.routeFrame(d.h, d.ev)
+				e.batch = append(e.batch, routed{h: d.h, fi: d.fi})
 			}
 		}
 	}
+	e.assembling = false
+	e.routeBatch()
 }
 
 // profPartitionWaits charges each lookahead partition's barrier wait for
@@ -1002,9 +1162,9 @@ func (e *engine) runQuantumGraded(hostNow simtime.Host, p *partitioning) {
 // Workers value and engine path.
 func (e *engine) profPartitionWaits(p *partitioning, maxH simtime.Host) {
 	if p == nil {
-		last := e.nodes[0].finishHost
-		for _, ns := range e.nodes[1:] {
-			last = simtime.MaxHost(last, ns.finishHost)
+		last := e.na.finishHost[0]
+		for _, fh := range e.na.finishHost[1:] {
+			last = simtime.MaxHost(last, fh)
 		}
 		e.prof.PartitionWait(maxH.Sub(last))
 		return
@@ -1016,9 +1176,9 @@ func (e *engine) profPartitionWaits(p *partitioning, maxH simtime.Host) {
 	for i := range fin {
 		fin[i] = 0
 	}
-	for i, ns := range e.nodes {
+	for i, fh := range e.na.finishHost {
 		pid := p.part[i]
-		fin[pid] = simtime.MaxHost(fin[pid], ns.finishHost)
+		fin[pid] = simtime.MaxHost(fin[pid], fh)
 	}
 	for _, f := range fin {
 		e.prof.PartitionWait(maxH.Sub(f))
@@ -1028,25 +1188,26 @@ func (e *engine) profPartitionWaits(p *partitioning, maxH simtime.Host) {
 // walkNode steps one node from the quantum start to the barrier without the
 // event queue, mirroring stepNode/idleTo/the wake dispatch of the classic
 // engine exactly. It touches only state the walking worker owns: the node,
-// its nodeState, and its nodeWalk buffers (host.Model lookups are pure).
-// Globally visible effects are buffered in wk for the single-threaded
-// barrier fold.
-func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
+// its index in every arena lane, and its nodeWalk buffers (host.Model
+// lookups are pure, and each node's speed-memo entry is private to its
+// walker). Globally visible effects are buffered in wk for the single-
+// threaded barrier fold.
+func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 	wk.sends = wk.sends[:0]
 	wk.phases = wk.phases[:0]
 	wk.busy, wk.idle = 0, 0
 	wk.done, wk.err = false, nil
 
-	n := ns.n
+	n := e.na.node[i]
 	n.BeginQuantum(e.limit)
-	ns.inSeg = false
-	ns.wakeEv = eventq.Handle{}
+	e.na.inSeg[i] = false
+	e.na.wakeEv[i] = eventq.Handle{}
 	h := hostNow
 
 	finish := func() {
-		ns.phase = phAtLimit
-		ns.finishHost = h
-		ns.hostNow = h
+		e.na.phase[i] = phAtLimit
+		e.na.finishHost[i] = h
+		e.na.hostNow[i] = h
 	}
 	// idle mirrors idleTo plus the evWake dispatch: charge the idle cost,
 	// record the phase, advance the cursor, and wake the node at target.
@@ -1055,14 +1216,14 @@ func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
 	idle := func(target simtime.Guest) {
 		from := n.Clock()
 		if target < from {
-			panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", n.ID(), from, target))
+			panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", i, from, target))
 		}
-		cost := e.hostCost(n.ID(), from, target, host.Idle)
+		cost := e.hostCost(i, from, target, host.Idle)
 		wk.idle += cost
 		end := h.Add(cost)
 		wk.phases = append(wk.phases, phaseRec{obs.PhaseIdle, from, target, h, end})
 		h = end
-		ns.doneIdling = n.Done()
+		e.na.doneIdling[i] = n.Done()
 		n.WakeAt(target)
 	}
 
@@ -1076,7 +1237,7 @@ func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
 		st := n.Step()
 		switch st.Kind {
 		case guest.StepBusy:
-			cost := e.hostCost(n.ID(), st.From, st.To, host.Busy)
+			cost := e.hostCost(i, st.From, st.To, host.Busy)
 			wk.busy += cost
 			end := h.Add(cost)
 			wk.phases = append(wk.phases, phaseRec{obs.PhaseBusy, st.From, st.To, h, end})
@@ -1104,12 +1265,11 @@ func (e *engine) walkNode(ns *nodeState, wk *nodeWalk, hostNow simtime.Host) {
 		case guest.StepDone:
 			wk.done = true
 			wk.err = st.Err
-			ns.doneHost = h
+			e.na.doneHost[i] = h
 			g := n.Clock()
 			wk.phases = append(wk.phases, phaseRec{obs.PhaseDone, g, g, h, h})
 			// The simulator keeps idling to the barrier.
 			idle(e.limit)
-			ns.doneIdling = true
 			finish()
 			return
 		}

@@ -103,16 +103,23 @@ type pnode struct {
 	n      *guest.Node
 	state  pnodeState // guarded by prun.mu
 	txFree simtime.Guest
-	// wake is this node's private wakeup hint (buffered 1): quantum start,
-	// delivery unpark, or shutdown. All state decisions are re-checked under
-	// prun.mu; the channel only bounds who gets woken. A delivery therefore
-	// wakes exactly its destination goroutine — never the whole cluster, as
-	// the previous cond.Broadcast barrier did.
+	// wake is this node's private wakeup hint (buffered 1): delivery unpark
+	// or stale-park flush at quantum end. All state decisions are re-checked
+	// under prun.mu; the channel only bounds who gets woken. A delivery
+	// therefore wakes exactly its destination goroutine — never the whole
+	// cluster, as the previous cond.Broadcast barrier did.
 	wake chan struct{}
-	// limit caches the current quantum's boundary. The node copies it from
-	// prun.limit (under mu) once per quantum entry, so the hot blocked-step
-	// path reads it without a controller-mutex round-trip. Only the owning
-	// goroutine touches it.
+	// start carries the controller's quantum-generation signal (a negative
+	// value means shutdown). Strict alternation — the node consumes one
+	// token per quantum before it can arrive at the barrier, and the
+	// controller sends the next only after every node has arrived — keeps
+	// the 1-buffer from ever blocking a send. The channel handoff is also
+	// the happens-before edge under which the node reads its limit below,
+	// so quantum entry costs no controller-mutex round-trip at all.
+	start chan int
+	// limit caches the current quantum's boundary: written by the
+	// controller before it posts the start token, read by the owning
+	// goroutine after consuming it.
 	limit simtime.Guest
 	// spinPerBusy is real nanoseconds of CPU burned per guest busy
 	// nanosecond for this node: SpinPerGuestBusy times the fault plan's
@@ -213,6 +220,7 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 		r.nodes = append(r.nodes, &pnode{
 			n:           guest.NewNode(i, cfg.Nodes, cfg.Guest, cfg.Program(i, cfg.Nodes)),
 			wake:        make(chan struct{}, 1),
+			start:       make(chan int, 1),
 			spinPerBusy: spinPer,
 		})
 	}
@@ -251,13 +259,17 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 	start := r.startWall
 	var guestStart simtime.Guest
 	Q := policy.First()
+	// live and parked are the controller's per-quantum scratch: the nodes
+	// to start, and the subset that ended the previous quantum parked (they
+	// wait on their wake channel inside park, not on the start channel).
+	live := make([]*pnode, 0, cfg.Nodes)
+	parked := make([]*pnode, 0, cfg.Nodes)
 	err := func() error {
-		r.mu.Lock()
-		defer r.mu.Unlock()
 		for qi := 0; ; qi++ {
 			if Q <= 0 {
 				return fmt.Errorf("cluster: policy %q issued non-positive quantum %v", policy.Name(), Q)
 			}
+			r.mu.Lock()
 			r.limit = guestStart.Add(Q)
 			r.np, r.str = 0, 0
 			// Nodes that finished in earlier quanta stand permanently at the
@@ -265,10 +277,16 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 			// however unevenly the workloads drain.
 			r.atLimit = r.done
 			r.haveArr = false
+			live, parked = live[:0], parked[:0]
 			for _, pn := range r.nodes {
 				if pn.state != pnDone {
+					if pn.state == pnParked {
+						parked = append(parked, pn)
+					}
 					pn.n.BeginQuantum(r.limit)
 					pn.state = pnRunning
+					pn.limit = r.limit
+					live = append(live, pn)
 				}
 			}
 			qStartH := r.hostNow()
@@ -324,39 +342,61 @@ func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
 				}
 			}
 			r.gen++
-			for _, pn := range r.nodes {
-				if pn.state != pnDone {
-					wakeNode(pn)
-				}
+			gen := r.gen
+			// Parked nodes wait inside park on their wake channel; flush
+			// them now that the generation has advanced (park re-checks gen
+			// under mu, sees the new one and falls through to nodeLoop).
+			for _, pn := range parked {
+				wakeNode(pn)
 			}
+			r.mu.Unlock()
+			// Start the quantum outside the lock: each node begins stepping
+			// the moment its token lands instead of the whole cluster piling
+			// up on the controller mutex to read the new generation. Strict
+			// alternation (every live node consumed its previous token before
+			// arriving, and the controller only got here after all arrived)
+			// keeps the buffered send from ever blocking.
+			for _, pn := range live {
+				pn.start <- gen
+			}
+			r.mu.Lock()
 			for r.atLimit < len(r.nodes) && r.wErr == nil {
 				r.mu.Unlock()
 				<-r.barrier
 				r.mu.Lock()
 			}
 			if r.wErr != nil {
+				r.mu.Unlock()
 				return r.wErr
 			}
 			r.recordQuantum(qi, guestStart, Q, qStartH)
+			allDone := r.done == len(r.nodes)
+			np, str := r.np, r.str
+			r.mu.Unlock()
 			guestStart = r.limit
-			if r.done == len(r.nodes) {
+			if allDone {
 				return nil
 			}
 			if cfg.MaxGuest > 0 && guestStart > cfg.MaxGuest {
 				return fmt.Errorf("%w (reached %v)", ErrParallelGuestLimit, guestStart)
 			}
-			Q = policy.Next(quantum.Feedback{Packets: r.np, Stragglers: r.str, Now: r.limit})
+			Q = policy.Next(quantum.Feedback{Packets: np, Stragglers: str, Now: guestStart})
 		}
 	}()
 
 	// Shut the node goroutines down (normal completion leaves them waiting
-	// for the next generation).
+	// for the next generation). The wake flush unblocks anything parked
+	// mid-quantum after an error; closing the start channels ends every
+	// nodeLoop (each buffer is provably drained, see the start send above).
 	r.mu.Lock()
 	r.stop = true
 	for _, pn := range r.nodes {
 		wakeNode(pn)
 	}
 	r.mu.Unlock()
+	for _, pn := range r.nodes {
+		close(pn.start)
+	}
 	wg.Wait()
 	for _, pn := range r.nodes {
 		pn.n.Shutdown()
@@ -487,23 +527,16 @@ func (r *prun) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, qS
 	}
 }
 
-// nodeLoop drives one node across quanta.
+// nodeLoop drives one node across quanta. Quantum entry is a single channel
+// receive: the start token carries the generation and publishes pn.limit
+// (written by the controller before the send), so the node never touches the
+// controller mutex until it has something to report.
 func (r *prun) nodeLoop(pn *pnode) {
-	gen := 0
 	for {
-		r.mu.Lock()
-		for r.gen == gen && !r.stop {
-			r.mu.Unlock()
-			<-pn.wake
-			r.mu.Lock()
+		gen, ok := <-pn.start
+		if !ok {
+			return // shutdown
 		}
-		if r.stop {
-			r.mu.Unlock()
-			return
-		}
-		gen = r.gen
-		pn.limit = r.limit
-		r.mu.Unlock()
 		if done := r.runQuantum(pn, gen); done {
 			return
 		}

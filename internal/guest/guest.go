@@ -3,9 +3,10 @@
 //
 // In the paper each node is a full x86 system under AMD SimNow; here a node
 // executes a *workload program* — ordinary Go code written against the Proc
-// API (Compute, Send, Recv, Sleep) — on its own goroutine. The node and the
-// workload goroutine run strictly hand-over-hand (exactly one of them is
-// ever active), so execution is deterministic and the co-simulation engine
+// API (Compute, Send, Recv, Sleep) — on its own coroutine (iter.Pull). The
+// node and the workload run strictly hand-over-hand (exactly one of them is
+// ever active; every switch is an explicit resume, never a scheduler
+// round-trip), so execution is deterministic and the co-simulation engine
 // observes the node as a sequential state machine:
 //
 //	Step() → "I computed [a,b)" | "I sent a frame" | "I am blocked" |
@@ -17,6 +18,7 @@ package guest
 
 import (
 	"fmt"
+	"iter"
 	"sync"
 	"sync/atomic"
 
@@ -131,8 +133,8 @@ type request struct {
 }
 
 type reply struct {
-	arrival *Arrival // recv result (nil on deadline expiry)
-	poison  bool     // engine is shutting the node down
+	arrival Arrival // recv result (valid iff hasArr)
+	hasArr  bool
 }
 
 // Node is one simulated cluster node.
@@ -141,6 +143,12 @@ type reply struct {
 // frames may be delivered from other goroutines: Deliver and Clock are safe
 // for concurrent use, which the real-time parallel runner relies on. The
 // deterministic engine is single-threaded and pays only uncontended locks.
+//
+// The workload runs as a coroutine (iter.Pull): next resumes it until its
+// next request, yield suspends it until the engine resumes it with a staged
+// reply. Both directions are direct coroutine switches — no goroutine
+// parking, no scheduler — and all request/reply state lives in the Node by
+// value, so the steady-state Step loop allocates nothing.
 type Node struct {
 	id   int
 	size int
@@ -152,17 +160,31 @@ type Node struct {
 	rxMu    sync.Mutex
 	rx      eventq.Queue[*pkt.Frame]
 	frameID uint64
+	// frameBlk is the tail of the current frame block: outgoing frames are
+	// carved from batch-allocated arrays instead of allocated one by one.
+	// Frames are never recycled — a block is garbage-collected as a whole
+	// once every frame carved from it has been dropped — so pointer
+	// identity and immutability are exactly as with individual allocations.
+	// Touched only by the workload goroutine (like frameID).
+	frameBlk []pkt.Frame
 
-	reqCh   chan request
-	replyCh chan reply
+	// Coroutine handshake. next/stop drive the workload; yield (captured at
+	// coroutine start) hands a request to the engine from inside call. reply
+	// is staged by the engine before the resume that completes a call.
+	next  func() (request, bool)
+	stop  func()
+	yield func(request) bool
+	reply reply
 
-	pending    *request
-	overhead   simtime.Duration // busy time still owed before pending completes
-	recvArr    *Arrival         // arrival being charged RecvOverhead
-	started    bool
-	done       bool
-	doneErr    error
-	finishedAt simtime.Guest
+	pending     request
+	havePending bool
+	overhead    simtime.Duration // busy time still owed before pending completes
+	recvArr     Arrival          // arrival being charged RecvOverhead
+	haveRecv    bool
+	started     bool
+	done        bool
+	doneErr     error
+	finishedAt  simtime.Guest
 
 	program Program
 	metrics map[string]float64
@@ -175,8 +197,6 @@ func NewNode(id, size int, cfg Config, program Program) *Node {
 		size:    size,
 		cfg:     cfg,
 		program: program,
-		reqCh:   make(chan request),
-		replyCh: make(chan reply),
 		metrics: map[string]float64{},
 	}
 }
@@ -224,6 +244,22 @@ func (n *Node) Deliver(f *pkt.Frame, arr simtime.Guest) {
 	n.rxMu.Unlock()
 }
 
+// DeliverBatch delivers a run of arrivals under one lock acquisition — the
+// batched barrier router's per-destination tail. Ordering semantics are
+// identical to repeated Deliver calls: the receive queue orders by
+// (arrival time, Frame.ID, push sequence), so batch boundaries are
+// invisible to the workload.
+func (n *Node) DeliverBatch(batch []Arrival) {
+	if len(batch) == 0 {
+		return
+	}
+	n.rxMu.Lock()
+	for _, a := range batch {
+		n.rx.PushPri(int64(a.Time), int(a.Frame.ID), a.Frame)
+	}
+	n.rxMu.Unlock()
+}
+
 // WakeAt advances the node's clock to g (idle time passed while blocked or
 // at a barrier). g must not be before the current clock or past the limit.
 func (n *Node) WakeAt(g simtime.Guest) {
@@ -255,12 +291,18 @@ func (n *Node) Step() Step {
 	}
 	if !n.started {
 		n.started = true
-		go n.run()
+		n.next, n.stop = iter.Pull(n.coroutine)
 	}
 	for {
-		if n.pending == nil {
-			req := <-n.reqCh
-			n.pending = &req
+		if !n.havePending {
+			req, ok := n.next()
+			if !ok {
+				// The coroutine body always yields opDone last, so this is
+				// unreachable short of a runtime defect.
+				panic("guest: workload coroutine ended without opDone")
+			}
+			n.pending = req
+			n.havePending = true
 			switch req.kind {
 			case opCompute:
 				n.overhead = req.dur
@@ -274,13 +316,13 @@ func (n *Node) Step() Step {
 
 		// A recv that already holds its arrival is just finishing its
 		// receive-side CPU overhead.
-		if n.recvArr != nil {
+		if n.haveRecv {
 			if step, ok := n.chargeBusy(); !ok {
 				return step
 			}
 			arr := n.recvArr
-			n.recvArr = nil
-			n.complete(reply{arrival: arr})
+			n.haveRecv = false
+			n.complete(reply{arrival: arr, hasArr: true})
 			continue
 		}
 
@@ -305,7 +347,8 @@ func (n *Node) Step() Step {
 			if it, ok := n.rx.Peek(); ok && simtime.Guest(it.Time) <= now {
 				n.rx.Pop()
 				n.rxMu.Unlock()
-				n.recvArr = &Arrival{Frame: it.Payload, Time: simtime.Guest(it.Time)}
+				n.recvArr = Arrival{Frame: it.Payload, Time: simtime.Guest(it.Time)}
+				n.haveRecv = true
 				n.overhead = n.cfg.RecvOverhead
 				continue
 			}
@@ -338,7 +381,7 @@ func (n *Node) Step() Step {
 			n.done = true
 			n.doneErr = req.err
 			n.finishedAt = n.clock.load()
-			n.pending = nil
+			n.havePending = false
 			return Step{Kind: StepDone, From: n.finishedAt, To: n.finishedAt, Err: req.err}
 		}
 	}
@@ -362,51 +405,53 @@ func (n *Node) chargeBusy() (Step, bool) {
 	return Step{Kind: StepBusy, From: now, To: now.Add(adv)}, false
 }
 
+// complete stages the reply the workload will read when the engine's next
+// resume returns control to its suspended call.
 func (n *Node) complete(r reply) {
-	n.pending = nil
-	n.replyCh <- r
+	n.havePending = false
+	n.reply = r
+}
+
+// frameBlkLen is the frame block size: big enough to amortize allocation,
+// small enough that a retained frame pins only a few KB of block.
+const frameBlkLen = 64
+
+// newFrame carves one zeroed frame from the node's block. Workload-goroutine
+// only (called via Proc.Send/Broadcast).
+func (n *Node) newFrame() *pkt.Frame {
+	if len(n.frameBlk) == 0 {
+		n.frameBlk = make([]pkt.Frame, frameBlkLen)
+	}
+	f := &n.frameBlk[0]
+	n.frameBlk = n.frameBlk[1:]
+	return f
 }
 
 type poisonError struct{}
 
 func (poisonError) Error() string { return "guest: node shut down" }
 
-// Shutdown unblocks and terminates a still-running workload goroutine. Safe
-// to call on finished or never-started nodes.
+// Shutdown unwinds and terminates a still-running workload coroutine: the
+// coroutine's pending yield returns false, call panics with the poison
+// sentinel, and the coroutine body runs to completion before stop returns.
+// Safe to call on finished or never-started nodes.
 func (n *Node) Shutdown() {
 	if !n.started || n.done {
 		return
 	}
-	for {
-		select {
-		case req := <-n.reqCh:
-			if req.kind == opDone {
-				n.done = true
-				n.doneErr = req.err
-				n.finishedAt = n.clock.load()
-				return
-			}
-			n.replyCh <- reply{poison: true}
-		default:
-			// The workload is mid-reply or has not issued an op yet; it
-			// will hit the poison on its next interaction. If the node is
-			// currently waiting for a reply, send it.
-			select {
-			case n.replyCh <- reply{poison: true}:
-			case req := <-n.reqCh:
-				if req.kind == opDone {
-					n.done = true
-					n.doneErr = req.err
-					n.finishedAt = n.clock.load()
-					return
-				}
-				n.replyCh <- reply{poison: true}
-			}
-		}
-	}
+	n.stop()
+	// The coroutine body has run to completion under stop and recorded the
+	// workload's error (the poison sentinel, unless the program had already
+	// finished on its own) in doneErr before its final yield.
+	n.done = true
+	n.finishedAt = n.clock.load()
 }
 
-func (n *Node) run() {
+// coroutine is the workload side of the handshake; it runs inside the
+// iter.Pull coroutine and always yields an opDone request last, whether the
+// program returned, failed, or was poisoned by Shutdown.
+func (n *Node) coroutine(yield func(request) bool) {
+	n.yield = yield
 	p := &Proc{n: n}
 	var err error
 	func() {
@@ -421,21 +466,16 @@ func (n *Node) run() {
 		}()
 		err = n.program(p)
 	}()
-	if _, ok := err.(poisonError); ok {
-		// The engine is tearing the node down; it is draining reqCh, so
-		// report completion through it.
-		n.reqCh <- request{kind: opDone, err: err}
-		return
-	}
-	n.reqCh <- request{kind: opDone, err: err}
+	n.doneErr = err
+	yield(request{kind: opDone, err: err})
 }
 
-// call issues one workload request and waits for the engine's reply.
+// call issues one workload request and suspends until the engine's reply.
+// Runs inside the coroutine; a false yield means the engine is tearing the
+// node down via stop.
 func (n *Node) call(req request) reply {
-	n.reqCh <- req
-	r := <-n.replyCh
-	if r.poison {
+	if !n.yield(req) {
 		panic(poisonError{})
 	}
-	return r
+	return n.reply
 }

@@ -59,7 +59,8 @@ func (p *Proc) Send(dst int, proto pkt.Proto, size int, data []byte) {
 		panic(fmt.Sprintf("guest: Send with negative size %d", size))
 	}
 	p.n.frameID++
-	f := &pkt.Frame{
+	f := p.n.newFrame()
+	*f = pkt.Frame{
 		Src:   pkt.NodeMAC(p.n.id),
 		Dst:   pkt.NodeMAC(dst),
 		Proto: proto,
@@ -74,7 +75,8 @@ func (p *Proc) Send(dst int, proto pkt.Proto, size int, data []byte) {
 // address.
 func (p *Proc) Broadcast(proto pkt.Proto, size int, data []byte) {
 	p.n.frameID++
-	f := &pkt.Frame{
+	f := p.n.newFrame()
+	*f = pkt.Frame{
 		Src:   pkt.NodeMAC(p.n.id),
 		Dst:   pkt.Broadcast,
 		Proto: proto,
@@ -90,20 +92,20 @@ func (p *Proc) Broadcast(proto pkt.Proto, size int, data []byte) {
 // order regardless of sender.
 func (p *Proc) Recv() Arrival {
 	r := p.n.call(request{kind: opRecv, deadline: simtime.GuestInfinity})
-	if r.arrival == nil {
+	if !r.hasArr {
 		panic("guest: Recv returned without an arrival")
 	}
-	return *r.arrival
+	return r.arrival
 }
 
 // RecvDeadline blocks until a frame is visible or the guest clock reaches
 // deadline, whichever comes first. ok reports whether a frame was received.
 func (p *Proc) RecvDeadline(deadline simtime.Guest) (a Arrival, ok bool) {
 	r := p.n.call(request{kind: opRecv, deadline: deadline})
-	if r.arrival == nil {
+	if !r.hasArr {
 		return Arrival{}, false
 	}
-	return *r.arrival, true
+	return r.arrival, true
 }
 
 // TryRecv returns a frame if one is already visible, without blocking

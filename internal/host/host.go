@@ -130,6 +130,20 @@ func (p Params) Validate() error {
 // Model converts between guest progress and host cost for every node.
 type Model struct {
 	p Params
+	// memo caches each node's most recent speed draw. The draw is a pure
+	// function of (seed, node, window), so the cache returns the exact
+	// float64 the draw would produce — results are bit-identical with or
+	// without it. Quanta are typically much shorter than JitterPeriod, so
+	// consecutive conversions hit the same window almost every time and the
+	// Box–Muller transcendentals drop out of the hot loop. Sized by
+	// Reserve; nodes beyond the reservation fall through to the raw draw.
+	memo []speedMemo
+}
+
+// speedMemo is one node's cached draw. window is -1 until the first hit.
+type speedMemo struct {
+	window int64
+	mult   float64
 }
 
 // NewModel builds a Model; it panics on invalid Params (configuration is a
@@ -141,17 +155,49 @@ func NewModel(p Params) *Model {
 	return &Model{p: p}
 }
 
+// Reserve pre-sizes the per-node speed cache for nodes. Call once before a
+// run; conversions for nodes outside the reservation stay correct but
+// uncached. Each node's cache entry is only touched by conversions for that
+// node, so the engine's discipline — one goroutine steps one node, with a
+// happens-before edge at each barrier — makes concurrent per-node walks
+// safe without locks.
+func (m *Model) Reserve(nodes int) {
+	if nodes <= len(m.memo) {
+		return
+	}
+	memo := make([]speedMemo, nodes)
+	for i := range memo {
+		memo[i].window = -1
+	}
+	copy(memo, m.memo)
+	m.memo = memo
+}
+
 // Params returns the model's configuration.
 func (m *Model) Params() Params { return m.p }
 
 // speed returns the speed multiplier for a node within one jitter window.
 // Larger multiplier = slower simulation (more host ns per guest ns). The
 // draw is a pure function of (seed, node, window) — no state, no allocation
-// — so host/guest conversions can replay from any point.
+// — so host/guest conversions can replay from any point; the per-node memo
+// only short-circuits recomputation of the identical value.
 func (m *Model) speed(node int, window int64) float64 {
 	if m.p.JitterSigma == 0 {
 		return 1
 	}
+	if node < len(m.memo) {
+		if mo := &m.memo[node]; mo.window == window {
+			return mo.mult
+		}
+		mult := m.draw(node, window)
+		m.memo[node] = speedMemo{window: window, mult: mult}
+		return mult
+	}
+	return m.draw(node, window)
+}
+
+// draw computes the lognormal speed multiplier from scratch.
+func (m *Model) draw(node int, window int64) float64 {
 	u := rng.HashFloat01(m.p.Seed, uint64(node), uint64(window), 1)
 	v := rng.HashFloat01(m.p.Seed, uint64(node), uint64(window), 2)
 	norm := math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
@@ -224,6 +270,16 @@ func (m *Model) HostCost(node int, g0, g1 simtime.Guest, mode Mode) simtime.Dura
 		return 0
 	}
 	per := simtime.Guest(m.p.JitterPeriod)
+	// Single-window fast path: quanta are typically much shorter than
+	// JitterPeriod, so most conversions never cross an integration boundary.
+	// This is the loop below run for exactly one iteration — the same
+	// float64 product, the same rounding — just without the loop and segEnd
+	// overhead. Sampling schedules add boundaries segEnd knows about, so
+	// they take the general loop.
+	if m.p.Sampling == nil && g0/per == (g1-1)/per {
+		total := float64(g1-g0) * m.slowdownAt(mode, g0) * m.speed(node, int64(g0/per))
+		return simtime.Duration(total + 0.5)
+	}
 	var total float64
 	g := g0
 	for g < g1 {

@@ -88,11 +88,11 @@ type msgKey struct {
 }
 
 type partial struct {
-	src, tag int
-	size     int
+	// m is the message under reassembly; completion hands out &pa.m, so a
+	// message costs one allocation, not a partial plus a Message.
+	m        Message
 	seq      uint32
 	received int
-	payload  []byte
 	gotData  bool
 	// gotOff marks byte offsets already folded in, so retransmitted
 	// fragments are not double-counted.
@@ -166,10 +166,22 @@ type Endpoint struct {
 
 	// Per-destination sequence numbers enforce MPI-style non-overtaking
 	// delivery even when retransmissions or rendezvous/eager mixing let a
-	// later message finish reassembly first.
-	txSeq  map[int]uint32
-	rxNext map[int]uint32
-	rxHold map[int]map[uint32]*Message
+	// later message finish reassembly first. The cluster size is fixed, so
+	// these are flat per-peer slices; the hold maps exist only for peers
+	// that actually reorder (lazily allocated in deliverInOrder).
+	txSeq  []uint32
+	rxNext []uint32
+	rxHold []map[uint32]*Message
+
+	// wireSlab is the tail of the current wire-byte slab (see sendData) and
+	// msgBlk the tail of the current Message block (see newMessage); both
+	// carve batch allocations into individually handed-out objects that the
+	// GC reclaims block-wise once every holder has dropped theirs. slabLen
+	// doubles from modest to maxSlab so light endpoints never pay for the
+	// full slab.
+	wireSlab []byte
+	slabLen  int
+	msgBlk   []Message
 
 	// stats
 	framesSent, framesRecv int
@@ -208,9 +220,9 @@ func NewWithConfig(p *guest.Proc, cfg Config) *Endpoint {
 		cts:       map[uint64]bool{},
 		unacked:   map[uint64]*outMsg{},
 		completed: map[msgKey]bool{},
-		txSeq:     map[int]uint32{},
-		rxNext:    map[int]uint32{},
-		rxHold:    map[int]map[uint32]*Message{},
+		txSeq:     make([]uint32, p.Size()),
+		rxNext:    make([]uint32, p.Size()),
+		rxHold:    make([]map[uint32]*Message, p.Size()),
 	}
 }
 
@@ -241,9 +253,11 @@ func headerInto(dst []byte, kind byte, id uint64, tag, size, off, frag int, seq 
 	binary.LittleEndian.PutUint32(dst[33:], seq)
 }
 
-func header(kind byte, id uint64, tag, size, off, frag int, seq uint32) []byte {
-	hdr := make([]byte, headerBytes)
-	headerInto(hdr, kind, id, tag, size, off, frag, seq)
+// ctrl builds a control-frame header on wire bytes carved from the
+// endpoint's slab.
+func (e *Endpoint) ctrl(kind byte, id uint64, tag, size int) []byte {
+	hdr := e.carve(headerBytes)
+	headerInto(hdr, kind, id, tag, size, 0, 0, 0)
 	return hdr
 }
 
@@ -254,15 +268,20 @@ func (e *Endpoint) send(dst, tag, size int, payload []byte) {
 	if dst == e.p.Rank() {
 		// Loopback: deliver without touching the network, as a kernel
 		// would.
-		e.ready = append(e.ready, &Message{
-			Src: dst, Tag: tag, Size: size, Arrival: e.p.Now(), Payload: payload,
-		})
+		m := e.newMessage()
+		*m = Message{Src: dst, Tag: tag, Size: size, Arrival: e.p.Now(), Payload: payload}
+		e.ready = append(e.ready, m)
 		return
 	}
 	e.nextMsgID++
 	id := e.nextMsgID
-	seq := e.txSeq[dst]
-	e.txSeq[dst] = seq + 1
+	var seq uint32
+	if dst >= 0 && dst < len(e.txSeq) {
+		// A message to a rank outside the cluster vanishes in the switch;
+		// it never consumes a sequence number anyone waits on.
+		seq = e.txSeq[dst]
+		e.txSeq[dst] = seq + 1
+	}
 
 	rendezvous := e.cfg.EagerMax >= 0 && size > e.cfg.EagerMax
 	if rendezvous {
@@ -294,28 +313,65 @@ func (e *Endpoint) send(dst, tag, size int, payload []byte) {
 }
 
 func (e *Endpoint) sendRTS(dst int, id uint64, tag, size int) {
-	e.p.Send(dst, pkt.ProtoCtrl, headerBytes, header(kindRTS, id, tag, size, 0, 0, 0))
+	e.p.Send(dst, pkt.ProtoCtrl, headerBytes, e.ctrl(kindRTS, id, tag, size))
 	e.rtsSent++
 	e.framesSent++
 }
 
-// maxSlab caps sendData's fragment slabs at the Go runtime's small-object
-// limit: one slab a few bytes over 32 KiB would fall onto the page-granular
-// large-object path and cost more than the allocations it replaces.
+// maxSlab caps the endpoint's wire-byte slabs at the Go runtime's
+// small-object limit: one slab a few bytes over 32 KiB would fall onto the
+// page-granular large-object path and cost more than the allocations it
+// replaces.
 const maxSlab = 32 << 10
 
-// sendData pushes all data fragments of a message. The wire bytes of the
-// fragments are carved out of shared slabs (exactly sized to the whole
-// fragments they hold, at most maxSlab each) instead of a make+append pair
-// per fragment; each fragment is sliced with a full-capacity bound so no
-// holder of a frame (receivers, the broadcast fan-out, traces) can grow one
-// fragment into its neighbour's bytes. Frames reference their slab until
-// the receiver drops them — exactly the lifetime the old per-fragment
-// allocations had, minus the garbage.
+// carve slices n wire bytes off the endpoint's slab, with a full-capacity
+// bound so no holder of a frame (receivers, the broadcast fan-out, traces)
+// can grow one fragment into its neighbour's bytes. The slab persists
+// across messages — header-only fragments are 40 bytes, so one slab serves
+// hundreds of sends — and is reclaimed by the GC as a whole once every
+// fragment carved from it has been dropped: exactly the lifetime individual
+// allocations would have, minus the garbage.
+func (e *Endpoint) carve(n int) []byte {
+	if len(e.wireSlab) < n {
+		if e.slabLen < maxSlab {
+			e.slabLen = 2 * e.slabLen
+			if e.slabLen < 2048 {
+				e.slabLen = 2048
+			}
+			if e.slabLen > maxSlab {
+				e.slabLen = maxSlab
+			}
+		}
+		ln := e.slabLen
+		if n > ln {
+			ln = n
+		}
+		e.wireSlab = make([]byte, ln)
+	}
+	b := e.wireSlab[:n:n]
+	e.wireSlab = e.wireSlab[n:]
+	return b
+}
+
+// msgBlkLen is the Message block size (see newMessage).
+const msgBlkLen = 64
+
+// newMessage carves one zeroed Message from the endpoint's block. Messages
+// escape to the application and are never recycled; the block is collected
+// once every message carved from it has been dropped.
+func (e *Endpoint) newMessage() *Message {
+	if len(e.msgBlk) == 0 {
+		e.msgBlk = make([]Message, msgBlkLen)
+	}
+	m := &e.msgBlk[0]
+	e.msgBlk = e.msgBlk[1:]
+	return m
+}
+
+// sendData pushes all data fragments of a message, their wire bytes carved
+// from the endpoint's shared slab.
 func (e *Endpoint) sendData(dst int, id uint64, tag, size int, payload []byte, seq uint32) {
 	chunk := e.cfg.MTU - headerBytes
-	var slab []byte
-	o := 0
 	off := 0
 	for {
 		frag := size - off
@@ -326,34 +382,7 @@ func (e *Endpoint) sendData(dst int, id uint64, tag, size int, payload []byte, s
 		if payload != nil {
 			n += frag
 		}
-		if o+n > len(slab) {
-			// Size the next slab to the largest run of whole upcoming
-			// fragments that stays within maxSlab (a single oversized
-			// fragment still gets exactly what it needs).
-			slabLen, so := 0, off
-			for {
-				fr := size - so
-				if fr > chunk {
-					fr = chunk
-				}
-				fn := headerBytes
-				if payload != nil {
-					fn += fr
-				}
-				if slabLen > 0 && slabLen+fn > maxSlab {
-					break
-				}
-				slabLen += fn
-				so += fr
-				if so >= size {
-					break
-				}
-			}
-			slab = make([]byte, slabLen)
-			o = 0
-		}
-		data := slab[o : o+n : o+n]
-		o += n
+		data := e.carve(n)
 		headerInto(data, kindData, id, tag, size, off, frag, seq)
 		if payload != nil {
 			copy(data[headerBytes:], payload[off:off+frag])
@@ -480,7 +509,7 @@ func (e *Endpoint) handleFrame(a guest.Arrival) {
 		// Grant immediately: the protocol engine (in a real stack, the
 		// progress thread / TCP window) opens the transfer as soon as the
 		// RTS is seen. Duplicate RTS (lost CTS) is granted again.
-		e.p.Send(src, pkt.ProtoCtrl, headerBytes, header(kindCTS, id, tag, size, 0, 0, 0))
+		e.p.Send(src, pkt.ProtoCtrl, headerBytes, e.ctrl(kindCTS, id, tag, size))
 		e.ctsSent++
 		e.framesSent++
 		return
@@ -499,9 +528,24 @@ func (e *Endpoint) handleFrame(a guest.Arrival) {
 		e.ack(src, id, tag, size)
 		return
 	}
+	hasData := len(f.Data) >= headerBytes+frag && frag > 0 && len(f.Data) > headerBytes
 	pa := e.partials[key]
 	if pa == nil {
-		pa = &partial{src: src, tag: tag, size: size, seq: seq}
+		if frag >= size && !e.cfg.Reliable {
+			// Single-fragment message on an unreliable endpoint: complete on
+			// arrival, so reassembly state (and its map round-trip) is
+			// unnecessary. Reliable mode still tracks it for duplicate
+			// suppression.
+			m := e.newMessage()
+			*m = Message{Src: src, Tag: tag, Size: size, Arrival: a.Time}
+			if hasData {
+				m.Payload = make([]byte, size)
+				copy(m.Payload, f.Data[headerBytes:headerBytes+frag])
+			}
+			e.deliverInOrder(src, seq, m)
+			return
+		}
+		pa = &partial{m: Message{Src: src, Tag: tag, Size: size}, seq: seq}
 		if e.cfg.Reliable {
 			pa.gotOff = map[int]bool{}
 		}
@@ -514,24 +558,25 @@ func (e *Endpoint) handleFrame(a guest.Arrival) {
 		}
 		pa.gotOff[off] = true
 	}
-	if len(f.Data) >= headerBytes+frag && frag > 0 && len(f.Data) > headerBytes {
-		if pa.payload == nil {
-			pa.payload = make([]byte, size)
+	if hasData {
+		if pa.m.Payload == nil {
+			pa.m.Payload = make([]byte, size)
 		}
-		copy(pa.payload[off:off+frag], f.Data[headerBytes:headerBytes+frag])
+		copy(pa.m.Payload[off:off+frag], f.Data[headerBytes:headerBytes+frag])
 		pa.gotData = true
 	}
 	pa.received += frag
-	if pa.received >= pa.size {
-		m := &Message{Src: pa.src, Tag: pa.tag, Size: pa.size, Arrival: a.Time}
-		if pa.gotData {
-			m.Payload = pa.payload
+	if pa.received >= pa.m.Size {
+		m := &pa.m
+		m.Arrival = a.Time
+		if !pa.gotData {
+			m.Payload = nil
 		}
 		delete(e.partials, key)
 		e.deliverInOrder(src, pa.seq, m)
 		if e.cfg.Reliable {
 			e.completed[key] = true
-			e.ack(src, id, pa.tag, pa.size)
+			e.ack(src, id, m.Tag, m.Size)
 		}
 	}
 }
@@ -541,6 +586,13 @@ func (e *Endpoint) handleFrame(a guest.Arrival) {
 // predecessors are still in flight.
 func (e *Endpoint) deliverInOrder(src int, seq uint32, m *Message) {
 	hold := e.rxHold[src]
+	if seq == e.rxNext[src] && len(hold) == 0 {
+		// The common case: the message is next in sequence and nothing is
+		// held — release it without touching the hold map at all.
+		e.rxNext[src] = seq + 1
+		e.ready = append(e.ready, m)
+		return
+	}
 	if hold == nil {
 		hold = map[uint32]*Message{}
 		e.rxHold[src] = hold
@@ -561,7 +613,7 @@ func (e *Endpoint) ack(dst int, id uint64, tag, size int) {
 	if !e.cfg.Reliable {
 		return
 	}
-	e.p.Send(dst, pkt.ProtoCtrl, headerBytes, header(kindAck, id, tag, size, 0, 0, 0))
+	e.p.Send(dst, pkt.ProtoCtrl, headerBytes, e.ctrl(kindAck, id, tag, size))
 	e.acksSent++
 	e.framesSent++
 }
