@@ -3,7 +3,7 @@
 GO ?= go
 SIMLINT := $(CURDIR)/bin/simlint
 
-.PHONY: all build test race bench lint simlint vet-simlint fmt clean
+.PHONY: all build test race bench fleet fleet-update lint simlint vet-simlint fmt clean
 
 all: build test simlint
 
@@ -23,6 +23,16 @@ race:
 # counts are load-bearing (see the alloc gates in internal/cluster).
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkGroundTruthQuanta|BenchmarkParallelBarrier|BenchmarkFastPathRack' -benchtime=2s -benchmem ./internal/cluster/
+
+# Scenario regression fleet: run the committed manifest and check every
+# canonical fingerprint against testdata/fleet/golden.json (what CI's
+# fleet-smoke job gates on). After an intentional behaviour change, re-record
+# with fleet-update and commit the golden diff for review.
+fleet:
+	$(GO) run ./cmd/simfleet -manifest testdata/fleet/manifest.json -v
+
+fleet-update:
+	$(GO) run ./cmd/simfleet -manifest testdata/fleet/manifest.json -update -v
 
 # simlint smoke: the determinism analyzer suite over the whole module.
 # Exits non-zero on any finding that is not covered by a justified

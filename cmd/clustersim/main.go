@@ -57,95 +57,29 @@ var (
 	metricsAddrFlag = flag.String("metrics-addr", "", "serve live JSON metrics on this HTTP address (e.g. localhost:6060) and print a text snapshot at exit")
 	progressFlag    = flag.Bool("progress", false, "report live progress (guest %, quanta/s, current Q, straggler rate) on stderr")
 	reportFlag      = flag.String("report", "", "write a sync-overhead attribution report here (JSON, plus .nodes.csv/.links.csv sidecars); inspect with simprof")
-	topoFlag        = flag.String("topo", "", "switch topology override: rack:<radix>:<edge>:<core> builds a two-level fat-tree (e.g. rack:4:500ns:2us); default keeps the paper's perfect switch")
+	topoFlag        = flag.String("topo", "", "switch topology override: rack:<radix>:<edge>:<core> builds a two-level fat-tree (e.g. rack:4:500ns:2us), mixedwan:<rack>:<rackLat>:<wanLat> one tight rack plus WAN singletons; default keeps the paper's perfect switch")
+	contentionFlag  = flag.String("contention", "", "switch output-port contention model as <bytes/s>:<latency> (e.g. 10e9:500ns); incast senders queue behind each other; disables the fast path")
 )
 
-func pickWorkload(name string, scale float64) (workloads.Workload, error) {
-	for _, w := range experiments.NASSuite(scale) {
-		if w.Name == name {
-			return w, nil
-		}
-	}
-	switch name {
-	case "namd":
-		return experiments.NAMDWorkload(scale), nil
-	case "nas.ft":
-		p := workloads.DefaultFT()
-		p.SerialComputePerIter = p.SerialComputePerIter.Scale(scale)
-		return workloads.FT(p), nil
-	case "nas.bt":
-		p := workloads.DefaultBT()
-		p.SerialComputePerStep = p.SerialComputePerStep.Scale(scale)
-		return workloads.BT(p), nil
-	case "pingpong":
-		return workloads.PingPong(200, 9000), nil
-	case "phases":
-		return workloads.Phases(8, simtime.Duration(float64(2*simtime.Millisecond)*scale), 64<<10), nil
-	case "reliable-phases":
-		// Runs the reliable transport (ack/retransmit): the workload to pair
-		// with -faults loss — plain workloads block forever on lost frames.
-		return workloads.ReliablePhases(8, simtime.Duration(float64(2*simtime.Millisecond)*scale), 64<<10), nil
-	case "silent":
-		return workloads.Silent(simtime.Duration(float64(20*simtime.Millisecond) * scale)), nil
-	case "uniform":
-		return workloads.Uniform(200, 4000, 100*simtime.Microsecond, 42), nil
-	}
-	return workloads.Workload{}, fmt.Errorf("unknown workload %q", name)
-}
-
-func parsePolicy() (func() quantum.Policy, error) {
-	if *dynFlag == "" {
-		q, err := simtime.ParseDuration(*quantumFlag)
-		if err != nil {
-			return nil, err
-		}
-		return func() quantum.Policy { return quantum.Fixed{Q: q} }, nil
-	}
-	parts := strings.Split(*dynFlag, ":")
-	if len(parts) != 4 {
-		return nil, fmt.Errorf("-dyn wants min:max:inc:dec, got %q", *dynFlag)
-	}
-	min, err := simtime.ParseDuration(parts[0])
-	if err != nil {
-		return nil, err
-	}
-	max, err := simtime.ParseDuration(parts[1])
-	if err != nil {
-		return nil, err
-	}
-	inc, err := strconv.ParseFloat(parts[2], 64)
-	if err != nil {
-		return nil, err
-	}
-	dec, err := strconv.ParseFloat(parts[3], 64)
-	if err != nil {
-		return nil, err
-	}
-	return func() quantum.Policy { return quantum.NewAdaptive(min, max, inc, dec) }, nil
-}
-
-// parseTopo parses the -topo flag into a switch model. The "rack" form
-// models racks of radix nodes behind edge switches joined by a core layer,
-// the topology where per-link slack differs by rack locality — the shape the
-// profiler's limiting-links ranking is designed to explain.
-func parseTopo(spec string) (netmodel.SwitchModel, error) {
+// parseContention parses the -contention flag into an output-queue model:
+// <bytes/s>:<latency>, e.g. 10e9:500ns. The tap models per-destination port
+// contention — and, because delivery times then depend on cross-node send
+// interleaving, it disables the fast/graded path entirely (the engine falls
+// back to the classic walk and run() prints an explicit diagnostic).
+func parseContention(spec string) (*netmodel.OutputQueue, error) {
 	parts := strings.Split(spec, ":")
-	if len(parts) != 4 || parts[0] != "rack" {
-		return nil, fmt.Errorf("-topo wants rack:<radix>:<edge>:<core>, got %q", spec)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("-contention wants <bytes/s>:<latency>, got %q", spec)
 	}
-	radix, err := strconv.Atoi(parts[1])
-	if err != nil || radix < 1 {
-		return nil, fmt.Errorf("-topo radix %q: want a positive integer", parts[1])
+	bps, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || bps < 0 {
+		return nil, fmt.Errorf("-contention bytes/s %q: want a non-negative number", parts[0])
 	}
-	edge, err := simtime.ParseDuration(parts[2])
+	lat, err := simtime.ParseDuration(parts[1])
 	if err != nil {
-		return nil, fmt.Errorf("-topo edge latency: %w", err)
+		return nil, fmt.Errorf("-contention latency: %w", err)
 	}
-	core, err := simtime.ParseDuration(parts[3])
-	if err != nil {
-		return nil, fmt.Errorf("-topo core latency: %w", err)
-	}
-	return &netmodel.FatTreeSwitch{Radix: radix, EdgeLatency: edge, CoreLatency: core}, nil
+	return &netmodel.OutputQueue{BytesPerSecond: bps, Latency: lat}, nil
 }
 
 func main() {
@@ -255,12 +189,12 @@ func run() (err error) {
 		}
 		w = tf.Workload()
 	} else {
-		w, err = pickWorkload(*workloadFlag, *scaleFlag)
+		w, err = experiments.ResolveWorkload(*workloadFlag, *scaleFlag)
 		if err != nil {
 			return err
 		}
 	}
-	policy, err := parsePolicy()
+	policy, err := experiments.ParsePolicy(*quantumFlag, *dynFlag)
 	if err != nil {
 		return err
 	}
@@ -270,17 +204,24 @@ func run() (err error) {
 	env := experiments.DefaultEnv()
 	env.Host.Seed = *seedFlag
 	if *topoFlag != "" {
-		sw, terr := parseTopo(*topoFlag)
+		sw, terr := experiments.ParseTopo(*topoFlag)
 		if terr != nil {
 			return terr
 		}
 		env.Net.Switch = sw
 	}
+	if *contentionFlag != "" {
+		oq, cerr := parseContention(*contentionFlag)
+		if cerr != nil {
+			return cerr
+		}
+		env.Net.Output = oq
+	}
 	plan, err := faults.Parse(*faultsFlag, *faultSeedFlag)
 	if err != nil {
 		return err
 	}
-	lookahead, err := parseLookahead(*lookFlag)
+	lookahead, err := experiments.ParseLookahead(*lookFlag)
 	if err != nil {
 		return err
 	}
@@ -338,6 +279,14 @@ func run() (err error) {
 		return err
 	}
 	printResult(w, res)
+	// The output tap makes delivery times depend on cross-node send
+	// interleaving, so the engine silently falls back to the classic walk
+	// even when -intra-workers asked for the fast path. Without this line a
+	// run showing 0 engaged quanta reads like a lookahead problem and perf
+	// numbers get misattributed.
+	if *intraFlag >= 1 && env.Net.Output != nil {
+		fmt.Println("fast path    disabled: output tap (-contention models per-port queueing, so delivery order depends on cross-node interleaving; the classic walk was used)")
+	}
 	if *chartFlag {
 		series := trace.QuantumSeries(res.Quanta, *widthFlag, res.GuestTime)
 		fmt.Println()
@@ -348,18 +297,6 @@ func run() (err error) {
 		fmt.Print(trace.TrafficChart(res.Packets, cfg.Nodes, res.GuestTime, *widthFlag))
 	}
 	return nil
-}
-
-// parseLookahead maps the -lookahead flag onto the engine mode.
-func parseLookahead(s string) (cluster.LookaheadMode, error) {
-	switch s {
-	case "matrix", "":
-		return cluster.LookaheadMatrix, nil
-	case "scalar":
-		return cluster.LookaheadScalar, nil
-	default:
-		return 0, fmt.Errorf("-lookahead wants matrix or scalar, got %q", s)
-	}
 }
 
 func runParallel(w workloads.Workload, policy func() quantum.Policy, env experiments.Env, observer obs.Observer, profiler *prof.Profiler, plan *faults.Plan, lookahead cluster.LookaheadMode) error {

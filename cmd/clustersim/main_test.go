@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod, so the test is independent of the package's location.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func buildClustersim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "clustersim")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/clustersim")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/clustersim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// Every malformed flag must die with exit 1 and a one-line "clustersim: ..."
+// error that names the offending input — never a panic, a usage dump, or a
+// silent success.
+func TestCLIFlagErrors(t *testing.T) {
+	bin := buildClustersim(t)
+	trace := filepath.Join(t.TempDir(), "two-rank.json")
+	if err := os.WriteFile(trace, []byte(`{"name": "t", "ranks": 2, "ops": [
+		[{"op": "send", "dst": 1, "bytes": 8}],
+		[{"op": "recv", "src": 0}]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown workload", []string{"-workload", "wat"}, `unknown workload "wat"`},
+		{"zero quantum", []string{"-quantum", "0us"}, "quantum must be positive"},
+		{"unparsable quantum", []string{"-quantum", "fast"}, "quantum:"},
+		{"dyn missing fields", []string{"-dyn", "1us:1ms"}, "dyn wants min:max:inc:dec"},
+		{"dyn bad min", []string{"-dyn", "x:1ms:1.03:0.02"}, "dyn min:"},
+		{"unknown topo kind", []string{"-topo", "ring:4:1us:2us"}, "unknown topology kind"},
+		{"topo missing fields", []string{"-topo", "ring:4"}, "topo wants rack:"},
+		{"topo bad radix", []string{"-topo", "rack:x:1us:2us"}, "topo radix"},
+		{"bad lookahead", []string{"-lookahead", "psychic"}, "lookahead wants matrix or scalar"},
+		{"faults unknown field", []string{"-faults", "chaos=1"}, `unknown field "chaos"`},
+		{"faults bad window", []string{"-faults", "down=5ms"}, "is not start-end"},
+		{"contention missing latency", []string{"-contention", "10e9"}, "-contention wants <bytes/s>:<latency>"},
+		{"contention negative rate", []string{"-contention", "-1:500ns"}, "non-negative"},
+		{"zero nodes", []string{"-nodes", "0", "-workload", "pingpong"}, "need at least 1 node"},
+		{"trace rank mismatch", []string{"-tracefile", trace, "-nodes", "4"}, "has 2 ranks but the cluster has 4 nodes"},
+		{"trace file missing", []string{"-tracefile", filepath.Join(t.TempDir(), "nope.json")}, "no such file"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := exec.Command(bin, c.args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("clustersim %v succeeded, want error:\n%s", c.args, out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 1 {
+				t.Errorf("want exit code 1, got %v", err)
+			}
+			text := strings.TrimSpace(string(out))
+			if !strings.Contains(text, c.want) {
+				t.Errorf("output %q does not mention %q", text, c.want)
+			}
+			if !strings.HasPrefix(text, "clustersim:") {
+				t.Errorf("error line %q lacks the clustersim: prefix", text)
+			}
+			if strings.Count(text, "\n") > 0 {
+				t.Errorf("error output is multi-line, want one usable line:\n%s", text)
+			}
+		})
+	}
+}
+
+// -contention disables the fast path, so a run that also asks for
+// -intra-workers must say so explicitly instead of reporting 0 engaged
+// quanta with no explanation (and must stay quiet when the combination is
+// absent).
+func TestContentionFastPathDiagnostic(t *testing.T) {
+	bin := buildClustersim(t)
+	base := []string{"-workload", "pingpong", "-nodes", "2", "-quantum", "1us"}
+	const diag = "fast path    disabled: output tap"
+
+	args := append(append([]string{}, base...), "-intra-workers", "2", "-contention", "10e9:500ns")
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("contention run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), diag) {
+		t.Errorf("-intra-workers with -contention did not print the output-tap diagnostic:\n%s", out)
+	}
+
+	quiet := []struct {
+		name  string
+		extra []string
+	}{
+		{"no contention", []string{"-intra-workers", "2"}},
+		{"no intra-workers", []string{"-contention", "10e9:500ns"}},
+	}
+	for _, c := range quiet {
+		args := append(append([]string{}, base...), c.extra...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s run failed: %v\n%s", c.name, err, out)
+		}
+		if strings.Contains(string(out), diag) {
+			t.Errorf("%s run printed the output-tap diagnostic spuriously:\n%s", c.name, out)
+		}
+	}
+}

@@ -86,6 +86,23 @@ func withProfiles(cpu, mem string, f func() error) error {
 }
 
 func run() error {
+	which := strings.ToLower(*figFlag)
+	// A typoed -fig used to match none of the dispatch arms and exit 0 having
+	// printed nothing, which reads like a hang or an empty study. Reject it
+	// (and nonsense scale factors) up front with the valid vocabulary, before
+	// the cache-stats and report-writer defers attach.
+	switch which {
+	case "6", "7", "8", "9", "9a", "9b", "9c", "ablation", "host", "oracle",
+		"optimistic", "sampling", "extras", "scaling", "faults", "all":
+	default:
+		return fmt.Errorf("unknown -fig %q (want 6, 7, 8, 9, 9a, 9b, 9c, ablation, host, oracle, optimistic, sampling, extras, scaling, faults, or all)", *figFlag)
+	}
+	if *scaleFlag <= 0 {
+		return fmt.Errorf("-scale must be positive, got %v", *scaleFlag)
+	}
+	if *nodesFlag < 1 {
+		return fmt.Errorf("-nodes must be >= 1, got %d", *nodesFlag)
+	}
 	env := experiments.DefaultEnv()
 	env.Workers = *workersFlag
 	env.IntraWorkers = *intraFlag
@@ -107,7 +124,6 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "paperfigs: profile sweep written to %s\n", *reportFlag)
 		}()
 	}
-	which := strings.ToLower(*figFlag)
 	all := which == "all"
 
 	var nasRows, namdRows []experiments.AggRow

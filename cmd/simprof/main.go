@@ -429,24 +429,27 @@ func diffLinks(out *strings.Builder, a, b *prof.Report) {
 		}
 		return keys[i][1] < keys[j][1]
 	})
-	shown := 0
+	// Render every change first, then truncate, so the elision line can
+	// state exactly how many rows it dropped — and never appears when the
+	// change count happens to equal -top.
+	var lines []string
 	for _, k := range keys {
 		sa, sb := ia[k], ib[k]
 		switch {
 		case sa.ok && !sb.ok:
-			fmt.Fprintf(out, "  link %-18s only in first (min slack %s)\n", prof.LinkName(k[0], k[1]), dur(sa.val))
+			lines = append(lines, fmt.Sprintf("  link %-18s only in first (min slack %s)\n", prof.LinkName(k[0], k[1]), dur(sa.val)))
 		case !sa.ok && sb.ok:
-			fmt.Fprintf(out, "  link %-18s only in second (min slack %s)\n", prof.LinkName(k[0], k[1]), dur(sb.val))
+			lines = append(lines, fmt.Sprintf("  link %-18s only in second (min slack %s)\n", prof.LinkName(k[0], k[1]), dur(sb.val)))
 		case sa.val != sb.val:
-			fmt.Fprintf(out, "  link %-18s min slack %s -> %s\n", prof.LinkName(k[0], k[1]), dur(sa.val), dur(sb.val))
-		default:
-			continue
+			lines = append(lines, fmt.Sprintf("  link %-18s min slack %s -> %s\n", prof.LinkName(k[0], k[1]), dur(sa.val), dur(sb.val)))
 		}
-		shown++
-		if shown == *topFlag {
-			fmt.Fprintf(out, "  … further link changes elided (-top %d)\n", *topFlag)
+	}
+	for i, ln := range lines {
+		if i == *topFlag && len(lines) > *topFlag {
+			fmt.Fprintf(out, "  … %d further link changes elided (-top %d)\n", len(lines)-*topFlag, *topFlag)
 			break
 		}
+		out.WriteString(ln)
 	}
 }
 

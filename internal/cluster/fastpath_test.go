@@ -3,7 +3,6 @@ package cluster
 import (
 	"fmt"
 	"reflect"
-	"sort"
 	"testing"
 
 	"clustersim/internal/faults"
@@ -141,10 +140,16 @@ func TestFastPathWorkerInvariance(t *testing.T) {
 	for _, c := range fastCases() {
 		t.Run(c.name, func(t *testing.T) {
 			res1, rec1 := runFast(t, c, 1)
+			fp1 := Fingerprint(res1)
 			for _, workers := range []int{2, 4, 9} {
 				resN, recN := runFast(t, c, workers)
 				if !reflect.DeepEqual(res1, resN) {
 					t.Errorf("Result differs between workers=1 and workers=%d:\n%+v\n%+v", workers, res1, resN)
+				}
+				// The canonical fingerprint is the fleet's definition of
+				// "same outcome"; it must agree with DeepEqual here.
+				if fpN := Fingerprint(resN); fpN != fp1 {
+					t.Errorf("fingerprint differs between workers=1 and workers=%d: %s vs %s", workers, fp1, fpN)
 				}
 				if !reflect.DeepEqual(rec1.events, recN.events) {
 					t.Errorf("observer stream differs between workers=1 and workers=%d", workers)
@@ -160,26 +165,10 @@ func TestFastPathWorkerInvariance(t *testing.T) {
 	}
 }
 
+// sortPackets canonicalizes a packet trace for multiset comparison; the
+// order is the shared canonical one the result fingerprint uses.
 func sortPackets(ps []PacketRecord) []PacketRecord {
-	out := append([]PacketRecord(nil), ps...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		switch {
-		case a.SendGuest != b.SendGuest:
-			return a.SendGuest < b.SendGuest
-		case a.Src != b.Src:
-			return a.Src < b.Src
-		case a.Dst != b.Dst:
-			return a.Dst < b.Dst
-		case a.Ideal != b.Ideal:
-			return a.Ideal < b.Ideal
-		case a.Arrival != b.Arrival:
-			return a.Arrival < b.Arrival
-		default:
-			return a.Size < b.Size
-		}
-	})
-	return out
+	return SortPacketsCanonical(ps)
 }
 
 // Against the classic sequential DES (Workers == 0), the fast path must
@@ -219,6 +208,11 @@ func TestFastPathMatchesClassicSemantics(t *testing.T) {
 			if !reflect.DeepEqual(sortPackets(seq.Packets), sortPackets(par.Packets)) {
 				t.Errorf("packet traces differ as multisets (%d vs %d records)",
 					len(seq.Packets), len(par.Packets))
+			}
+			// Classic vs fast must collapse to one canonical fingerprint —
+			// the invariant the scenario fleet's goldens rely on.
+			if fs, fp := Fingerprint(seq), Fingerprint(par); fs != fp {
+				t.Errorf("fingerprint differs between classic and fast path: %s vs %s", fs, fp)
 			}
 		})
 	}

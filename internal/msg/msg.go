@@ -57,6 +57,13 @@ const DefaultRetransmitTimeout = 200 * simtime.Microsecond
 // link can absorb.
 const DefaultMaxRetries = 30
 
+// DefaultFlushHorizon is the guest-time bound on one Flush call in
+// retry-forever mode. At the default 200µs timer with the 8x backoff cap
+// this spans hundreds of retransmission cycles — far beyond any recoverable
+// outage worth simulating — while guaranteeing Flush terminates against a
+// link that never comes back.
+const DefaultFlushHorizon = simtime.Second
+
 // ErrDeliveryFailed marks a reliable-mode message abandoned after
 // exhausting its retransmission budget. Returned (wrapped) by Err and
 // Flush.
@@ -130,8 +137,17 @@ type Config struct {
 	// that exhausts the cap is abandoned: it leaves the in-flight set and
 	// the endpoint records a permanent delivery failure surfaced by Err and
 	// Flush. Zero means DefaultMaxRetries; negative retries forever (the
-	// pre-cap behaviour).
+	// pre-cap behaviour), bounded only by FlushHorizon inside Flush.
 	MaxRetries int
+	// FlushHorizon bounds the guest time one Flush call may spend driving
+	// retransmissions; anything still unacknowledged when the horizon
+	// expires is abandoned with ErrDeliveryFailed. This is the termination
+	// backstop for MaxRetries < 0, where a permanently-down link would
+	// otherwise loop Flush forever (the "bounded by nextDeadline" argument
+	// assumed the retry cap); with a positive MaxRetries the per-message
+	// budget normally fires well before the horizon. Zero means
+	// DefaultFlushHorizon; negative disables the bound.
+	FlushHorizon simtime.Duration
 }
 
 // DefaultConfig returns jumbo frames with the standard eager threshold and
@@ -212,6 +228,9 @@ func NewWithConfig(p *guest.Proc, cfg Config) *Endpoint {
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.FlushHorizon == 0 {
+		cfg.FlushHorizon = DefaultFlushHorizon
 	}
 	return &Endpoint{
 		p:         p,
@@ -668,18 +687,54 @@ func (e *Endpoint) TryRecv(src, tag int) (m *Message, ok bool) {
 // abandoned, driving retransmissions as needed, and returns the endpoint's
 // first recorded delivery failure (nil when everything was delivered). It
 // is a no-op on unreliable endpoints.
+//
+// Flush terminates even against a link that never delivers: with a positive
+// MaxRetries every message abandons itself after its budget, and in
+// retry-forever mode (MaxRetries < 0) the FlushHorizon abandons whatever is
+// still outstanding, surfacing ErrDeliveryFailed either way.
 func (e *Endpoint) Flush() error {
 	if !e.cfg.Reliable {
 		return nil
 	}
+	horizon := simtime.GuestInfinity
+	if e.cfg.FlushHorizon > 0 {
+		horizon = e.p.Now().Add(e.cfg.FlushHorizon)
+	}
 	for e.Outstanding() > 0 {
+		if e.p.Now() >= horizon {
+			e.abandonOutstanding()
+			break
+		}
 		// Bound each wait by the earliest retransmission deadline so the
 		// loop re-checks Outstanding after every timer fire — including the
 		// one that abandons the last in-flight message, after which no
-		// frame may ever arrive to end an unbounded wait.
-		e.pump(e.nextDeadline())
+		// frame may ever arrive to end an unbounded wait — and by the flush
+		// horizon itself.
+		wait := e.nextDeadline()
+		if horizon < wait {
+			wait = horizon
+		}
+		e.pump(wait)
 	}
 	return e.err
+}
+
+// abandonOutstanding fails every still-unacknowledged message, recording
+// the first as the endpoint's permanent delivery failure.
+func (e *Endpoint) abandonOutstanding() {
+	for _, id := range e.unackedID {
+		om := e.unacked[id]
+		if om == nil {
+			continue
+		}
+		e.failures++
+		if e.err == nil {
+			e.err = fmt.Errorf("msg: message %d to rank %d (tag %d, %d bytes) abandoned after %d retransmissions (flush horizon %v exhausted): %w",
+				om.id, om.dst, om.tag, om.size, om.retries, e.cfg.FlushHorizon, ErrDeliveryFailed)
+		}
+		delete(e.unacked, id)
+	}
+	e.unackedID = e.unackedID[:0]
 }
 
 // Err returns the endpoint's first recorded delivery failure — a reliable

@@ -303,3 +303,67 @@ func TestPropertyReliableExactlyOnce(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Retry-forever mode (MaxRetries < 0) has no per-message budget, so against
+// a permanently-down link Flush used to loop unbounded: nextDeadline always
+// yields another finite retransmission deadline, and the "bounded by
+// nextDeadline" termination argument silently assumed the retry cap. The
+// FlushHorizon is the termination backstop: Flush must return right at the
+// horizon, abandon the message, and surface ErrDeliveryFailed.
+func TestFlushRetryForeverBoundedByHorizon(t *testing.T) {
+	const horizon = 20 * simtime.Millisecond
+	var flushErr, endpointErr error
+	var start, end simtime.Guest
+	var failures int
+	runBlackout(t, 50*simtime.Microsecond,
+		func(p *guest.Proc) error {
+			cfg := reliableCfg()
+			cfg.MaxRetries = -1
+			cfg.FlushHorizon = horizon
+			ep := msg.NewWithConfig(p, cfg)
+			ep.Send(1, 3, 2000)
+			start = p.Now()
+			flushErr = ep.Flush()
+			end = p.Now()
+			endpointErr = ep.Err()
+			_, _, _, _, failures = ep.TransportStats()
+			return nil
+		},
+		func(p *guest.Proc) error { return nil },
+	)
+	if !errors.Is(flushErr, msg.ErrDeliveryFailed) {
+		t.Fatalf("Flush = %v, want ErrDeliveryFailed", flushErr)
+	}
+	if !errors.Is(endpointErr, msg.ErrDeliveryFailed) {
+		t.Errorf("Err() = %v, want ErrDeliveryFailed", endpointErr)
+	}
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1", failures)
+	}
+	if end < start.Add(horizon) {
+		t.Errorf("Flush returned at %v, before the horizon %v after %v", end, horizon, start)
+	}
+	if limit := start.Add(2 * horizon); end > limit {
+		t.Errorf("Flush returned at %v, far past the horizon %v after %v", end, horizon, start)
+	}
+}
+
+// The default horizon applies when the config leaves it zero, so no
+// retry-forever configuration can hang Flush by omission.
+func TestFlushRetryForeverDefaultHorizon(t *testing.T) {
+	var flushErr error
+	runBlackout(t, 500*simtime.Microsecond,
+		func(p *guest.Proc) error {
+			cfg := reliableCfg()
+			cfg.MaxRetries = -1
+			ep := msg.NewWithConfig(p, cfg)
+			ep.Send(1, 1, 100)
+			flushErr = ep.Flush()
+			return nil
+		},
+		func(p *guest.Proc) error { return nil },
+	)
+	if !errors.Is(flushErr, msg.ErrDeliveryFailed) {
+		t.Fatalf("Flush = %v, want ErrDeliveryFailed", flushErr)
+	}
+}
