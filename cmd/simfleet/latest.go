@@ -1,0 +1,60 @@
+// Benchmark-trajectory selection: `-bench latest` resolves to the newest
+// BENCH_PR<n>.json in the working directory, so CI stops hard-coding a file
+// name that goes stale every time a PR records a new trajectory.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// benchNameRE matches the committed trajectory files. The PR number is the
+// only variable part; everything else is fixed by convention.
+var benchNameRE = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBench picks the BENCH_PR<n>.json with the highest PR number from
+// names, comparing n numerically so BENCH_PR10.json beats BENCH_PR9.json
+// (lexicographic order would not). Non-matching names are ignored. Returns
+// false when no name matches.
+func latestBench(names []string) (string, bool) {
+	best, bestN := "", -1
+	for _, name := range names {
+		m := benchNameRE.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = name, n
+	}
+	return best, bestN >= 0
+}
+
+// resolveBenchArg maps the -bench flag value onto a trajectory path. The
+// sentinel "latest" scans dir (the repo root in CI) for the newest
+// BENCH_PR<n>.json; any other value is used verbatim.
+func resolveBenchArg(arg, dir string) (string, error) {
+	if arg != "latest" {
+		return arg, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("scanning for BENCH_PR<n>.json: %v", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	name, ok := latestBench(names)
+	if !ok {
+		return "", fmt.Errorf("-bench latest: no BENCH_PR<n>.json found in %s", dir)
+	}
+	return filepath.Join(dir, name), nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLatestBench(t *testing.T) {
+	cases := []struct {
+		name  string
+		names []string
+		want  string
+		ok    bool
+	}{
+		{
+			name:  "numeric not lexicographic",
+			names: []string{"BENCH_PR9.json", "BENCH_PR10.json", "BENCH_PR2.json"},
+			want:  "BENCH_PR10.json",
+			ok:    true,
+		},
+		{
+			name:  "repo-shaped set",
+			names: []string{"BENCH_PR2.json", "BENCH_PR3.json", "BENCH_PR7.json", "BENCH_PR8.json"},
+			want:  "BENCH_PR8.json",
+			ok:    true,
+		},
+		{
+			name: "non-matching names ignored",
+			names: []string{
+				"BENCH_PR3.json",
+				"BENCH_PR4.json.bak",    // wrong suffix
+				"BENCH_PRX.json",        // no number
+				"bench_pr9.json",        // wrong case
+				"BENCH_PR10.json.patch", // trailing junk
+				"README.md",
+			},
+			want: "BENCH_PR3.json",
+			ok:   true,
+		},
+		{
+			name:  "no candidates",
+			names: []string{"golden.json", "manifest.json"},
+			ok:    false,
+		},
+		{
+			name:  "empty set",
+			names: nil,
+			ok:    false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := latestBench(tc.names)
+			if ok != tc.ok || got != tc.want {
+				t.Errorf("latestBench(%v) = %q, %v; want %q, %v", tc.names, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+func TestResolveBenchArg(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR9.json", "BENCH_PR11.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := resolveBenchArg("latest", dir)
+	if err != nil {
+		t.Fatalf("resolveBenchArg(latest): %v", err)
+	}
+	if got != filepath.Join(dir, "BENCH_PR11.json") {
+		t.Errorf("resolveBenchArg(latest) = %q, want %s", got, filepath.Join(dir, "BENCH_PR11.json"))
+	}
+
+	// Explicit paths pass through untouched, even ones that don't exist.
+	if got, err := resolveBenchArg("custom/path.json", dir); err != nil || got != "custom/path.json" {
+		t.Errorf("resolveBenchArg(custom/path.json) = %q, %v; want pass-through", got, err)
+	}
+
+	if _, err := resolveBenchArg("latest", t.TempDir()); err == nil {
+		t.Error("resolveBenchArg(latest) over an empty dir must fail, got nil error")
+	}
+}

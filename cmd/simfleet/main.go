@@ -8,7 +8,11 @@
 //
 //	simfleet -manifest testdata/fleet/manifest.json            # check
 //	simfleet -manifest testdata/fleet/manifest.json -update    # regenerate goldens
-//	simfleet -bench BENCH_PR8.json -bench-tolerance 0.6        # perf gate
+//	simfleet -bench latest -bench-tolerance 0.6                # perf gate
+//
+// `-bench latest` resolves to the newest committed BENCH_PR<n>.json
+// (numeric PR order, so BENCH_PR10.json beats BENCH_PR9.json); an explicit
+// path is used verbatim.
 //
 // A fingerprint mismatch exits 1 and, with -diff-out, writes a JSON diff
 // artifact naming every changed/failed/missing scenario (CI uploads it).
@@ -33,7 +37,7 @@ var (
 	diffOutFlag  = flag.String("diff-out", "", "write the JSON fingerprint diff here when the fleet fails")
 	verboseFlag  = flag.Bool("v", false, "print one line per finished scenario")
 
-	benchFlag     = flag.String("bench", "", "benchmark trajectory JSON (BENCH_*.json); re-runs the headline benchmarks and gates on regression")
+	benchFlag     = flag.String("bench", "", "benchmark trajectory JSON (BENCH_*.json), or \"latest\" for the newest BENCH_PR<n>.json in the working directory; re-runs the headline benchmarks and gates on regression")
 	benchTolFlag  = flag.Float64("bench-tolerance", 0.6, "allowed fractional throughput regression vs the trajectory baseline (0.6 = fail below 40% of baseline; generous because shared hosts are noisy)")
 	benchRepsFlag = flag.Int("bench-reps", 3, "measurement repetitions per benchmark; the best rep is compared")
 )
@@ -56,7 +60,11 @@ func run() error {
 		}
 	}
 	if *benchFlag != "" {
-		if err := runBenchGate(*benchFlag, *benchTolFlag, *benchRepsFlag); err != nil {
+		path, err := resolveBenchArg(*benchFlag, ".")
+		if err != nil {
+			return err
+		}
+		if err := runBenchGate(path, *benchTolFlag, *benchRepsFlag); err != nil {
 			return err
 		}
 	}

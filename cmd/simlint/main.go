@@ -1,6 +1,6 @@
 // Simlint is the simulator's determinism linter: a multichecker over the
 // custom analyzers in internal/analysis (nodetsource, maporder, guestwall,
-// lockcopy/atomicmix).
+// lockcopy/atomicmix, snapshotsafe, hotalloc, errdiscard).
 //
 // Standalone use, from the module root:
 //
@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"strings"
@@ -34,7 +35,8 @@ func main() {
 func run() int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	versionFlag := fs.String("V", "", "print version and exit (go vet protocol)")
-	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON")
+	jsonFlag := fs.Bool("json", false, "emit findings as JSON (the simlint-findings/1 schema) on stdout")
+	jsonOutFlag := fs.String("json-out", "", "also write the findings JSON document to this file (written even when clean)")
 	dirFlag := fs.String("C", ".", "change to this directory before resolving patterns")
 	enabled := map[string]*bool{}
 	for _, a := range simlint.Analyzers() {
@@ -79,17 +81,34 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 1
 	}
+	findings := framework.MakeFindings(fsetOf(pkgs), diags)
+	if *jsonOutFlag != "" {
+		if err := os.WriteFile(*jsonOutFlag, findings.JSON(), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+	}
+	if *jsonFlag {
+		os.Stdout.Write(findings.JSON())
+	}
 	if len(diags) == 0 {
 		return 0
 	}
-	if *jsonFlag {
-		printJSON(os.Stdout, pkgs, diags)
-	} else {
+	if !*jsonFlag {
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", position(pkgs, d), d.Analyzer, d.Message)
 		}
 	}
 	return 2
+}
+
+// fsetOf returns the FileSet shared by the loaded packages (Load hands every
+// package the same one), or an empty set when nothing matched.
+func fsetOf(pkgs []*framework.Package) *token.FileSet {
+	if len(pkgs) > 0 {
+		return pkgs[0].Fset
+	}
+	return token.NewFileSet()
 }
 
 // position renders a diagnostic's file:line:col using the shared fileset.
@@ -98,29 +117,6 @@ func position(pkgs []*framework.Package, d framework.Diagnostic) string {
 		return "-"
 	}
 	return pkgs[0].Fset.Position(d.Pos).String()
-}
-
-// jsonDiag is the stable JSON shape for -json output.
-type jsonDiag struct {
-	Pos      string `json:"pos"`
-	Analyzer string `json:"analyzer"`
-	Category string `json:"category"`
-	Message  string `json:"message"`
-}
-
-func printJSON(w io.Writer, pkgs []*framework.Package, diags []framework.Diagnostic) {
-	out := make([]jsonDiag, 0, len(diags))
-	for _, d := range diags {
-		out = append(out, jsonDiag{
-			Pos:      position(pkgs, d),
-			Analyzer: d.Analyzer,
-			Category: d.Category,
-			Message:  d.Message,
-		})
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(out)
 }
 
 // printFlagsJSON answers `simlint -flags` with the JSON the go command

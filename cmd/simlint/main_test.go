@@ -69,7 +69,11 @@ func TestVersionAndFlagsProbe(t *testing.T) {
 	for _, d := range defs {
 		names[d.Name] = true
 	}
-	for _, want := range []string{"nodetsource", "maporder", "guestwall", "lockcopy", "json", "V"} {
+	for _, want := range []string{
+		"nodetsource", "maporder", "guestwall", "lockcopy",
+		"snapshotsafe", "hotalloc", "errdiscard",
+		"json", "json-out", "V",
+	} {
 		if !names[want] {
 			t.Errorf("-flags output missing flag %q; got %s", want, out)
 		}
@@ -90,6 +94,58 @@ func TestStandaloneCleanRepo(t *testing.T) {
 	}
 }
 
+// TestStandaloneSkipsTestdata pins the corpus-exclusion rule: naming a
+// golden-corpus package directly (the trees `go list ./...` skips by
+// convention but explicit patterns can reach) must analyze nothing and exit
+// clean, never lint the corpus's deliberate findings as product code.
+func TestStandaloneSkipsTestdata(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	bin := buildSimlint(t)
+	cmd := exec.Command(bin, "-C", moduleRoot(t),
+		"./internal/analysis/maporder/testdata/src/example.com/app")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("simlint over a testdata corpus must exit clean, got: %v\n%s", err, out)
+	}
+	if len(bytes.TrimSpace(out)) != 0 {
+		t.Fatalf("simlint over a testdata corpus must report nothing, got:\n%s", out)
+	}
+}
+
+// TestJSONFindingsDocument checks the -json-out artifact: a versioned
+// findings document is written even on a clean run (CI uploads it on
+// failure, but the file must exist either way).
+func TestJSONFindingsDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	bin := buildSimlint(t)
+	outPath := filepath.Join(t.TempDir(), "findings.json")
+	cmd := exec.Command(bin, "-C", moduleRoot(t), "-json-out", outPath, "./...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("simlint -json-out ./...: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("findings document not written: %v", err)
+	}
+	var doc struct {
+		Schema   string            `json:"schema"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("findings document is not JSON: %v\n%s", err, data)
+	}
+	if doc.Schema != "simlint-findings/1" {
+		t.Errorf("findings schema = %q, want simlint-findings/1", doc.Schema)
+	}
+	if doc.Findings == nil {
+		t.Errorf("findings list must be present (empty, not null) on a clean run:\n%s", data)
+	}
+}
+
 // TestVettoolCleanPackage drives the binary through the real go vet
 // unitchecker protocol against packages that carry //simlint: annotations,
 // confirming directive handling works under vet's file/.cfg calling
@@ -99,8 +155,12 @@ func TestVettoolCleanPackage(t *testing.T) {
 		t.Skip("invokes go vet")
 	}
 	bin := buildSimlint(t)
+	// cluster/guest/msg carry the snapshotroot/hotpath markers, so this also
+	// proves fact flow (hotalloc summaries riding vetx files) under vet's
+	// dependency-first visit order.
 	cmd := exec.Command("go", "vet", "-vettool="+bin,
-		"./internal/faults", "./internal/obs", "./internal/simtime")
+		"./internal/faults", "./internal/obs", "./internal/simtime",
+		"./internal/cluster", "./internal/guest", "./internal/msg")
 	cmd.Dir = moduleRoot(t)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"clustersim/internal/analysis/framework"
@@ -42,6 +43,16 @@ type vetConfig struct {
 // runVet executes one unitchecker invocation: parse the package the go
 // command described in cfgPath, type-check it against the compiler's export
 // data, run the analyzers, and report.
+//
+// Facts ride the vetx files. The go command visits dependencies first
+// (VetxOnly invocations) and hands each later invocation its direct
+// dependencies' vetx paths in PackageVetx; simlint writes each package's
+// vetx as the merge of everything it was handed plus the facts its own
+// analysis exported, so a package's vetx transitively carries the facts of
+// its whole in-module import closure — the same flow RunAnalyzers gets from
+// dependency ordering in standalone mode. Packages outside this module
+// export no facts, so their vetx files just forward what they merged
+// (usually nothing) and skip the analysis entirely.
 func runVet(cfgPath string, analyzers []*framework.Analyzer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -53,16 +64,43 @@ func runVet(cfgPath string, analyzers []*framework.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "simlint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// The go command requires the facts file to exist even when empty.
-	// Simlint's analyzers are fact-free, so it is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+
+	// Merge the dependency fact stores (sorted for a deterministic merge
+	// order; key sets are disjoint per package, so order only matters for
+	// reproducibility of the bytes we write back out).
+	store := framework.NewFactStore()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		depPaths = append(depPaths, p)
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		raw, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: reading facts of %s: %v\n", p, err)
+			return 1
+		}
+		if err := store.MergeJSON(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: facts of %s: %v\n", p, err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency visited only to produce facts
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		if err := os.WriteFile(cfg.VetxOutput, store.EncodeJSON(), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	// Packages outside the module contribute no facts and get no
+	// diagnostics; forward the merged store and stop. This also keeps
+	// VetxOnly visits of the standard library free of parse/typecheck work.
+	if !inModule(cfg.ImportPath) {
+		return writeVetx()
 	}
 
 	// Simlint's contract covers non-test code only: tests legitimately read
@@ -76,7 +114,7 @@ func runVet(cfgPath string, analyzers []*framework.Analyzer) int {
 		}
 	}
 	if len(goFiles) == 0 {
-		return 0
+		return writeVetx()
 	}
 
 	fset := token.NewFileSet()
@@ -85,7 +123,7 @@ func runVet(cfgPath string, analyzers []*framework.Analyzer) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return writeVetx()
 			}
 			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 			return 1
@@ -118,16 +156,24 @@ func runVet(cfgPath string, analyzers []*framework.Analyzer) int {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx()
 		}
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 1
 	}
-	pkg := &framework.Package{Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info}
-	diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, analyzers)
+	pkg := &framework.Package{
+		Path: cfg.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info,
+		// A VetxOnly visit exists to produce facts; its diagnostics belong
+		// to the invocation that names the package directly.
+		FactsOnly: cfg.VetxOnly,
+	}
+	diags, err := framework.RunAnalyzersWithFacts([]*framework.Package{pkg}, analyzers, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
 		return 1
+	}
+	if code := writeVetx(); code != 0 {
+		return code
 	}
 	if len(diags) == 0 {
 		return 0
@@ -136,4 +182,12 @@ func runVet(cfgPath string, analyzers []*framework.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	return 2
+}
+
+// inModule reports whether importPath names a package of this module,
+// including the synthesized test variants ("pkg [pkg.test]").
+func inModule(importPath string) bool {
+	const module = "clustersim"
+	return importPath == module || strings.HasPrefix(importPath, module+"/") ||
+		strings.HasPrefix(importPath, module+".") || strings.HasPrefix(importPath, module+" ")
 }

@@ -20,6 +20,8 @@ package analysistest
 
 import (
 	"fmt"
+	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -41,48 +43,55 @@ func TestData() string {
 	return dir
 }
 
-// Run analyzes each named package under dir/src and compares diagnostics
-// with // want expectations.
+// Run analyzes the named packages under dir/src — together, over a shared
+// FileSet and fact store — and compares diagnostics with // want
+// expectations across all of them.
+//
+// When one corpus package imports another (the shape cross-package fact
+// tests need), list the dependency first: packages are type-checked in the
+// order given, each seeing the previously checked ones as importable, and
+// the analyzer then runs over the whole set in dependency order so facts
+// flow exactly as they do in a real run.
 func Run(t *testing.T, dir string, a *framework.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	fset := token.NewFileSet()
+	deps := map[string]*types.Package{}
+	var pkgs []*framework.Package
+	wants := &wantSet{byLine: map[posKey][]*want{}}
 	for _, pkgPath := range pkgPaths {
-		runOne(t, dir, a, pkgPath)
-	}
-}
-
-func runOne(t *testing.T, dir string, a *framework.Analyzer, pkgPath string) {
-	t.Helper()
-	pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
-	entries, err := os.ReadDir(pkgDir)
-	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
+		pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			t.Fatalf("%s: no .go files in %s", pkgPath, pkgDir)
+		}
+		pkg, err := framework.CheckSourceDeps(fset, pkgDir, pkgPath, names, deps)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		deps[pkgPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+		if err := collectWants(wants, pkgDir, names); err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
 		}
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		t.Fatalf("%s: no .go files in %s", pkgPath, pkgDir)
-	}
-	pkg, err := framework.CheckSource(pkgDir, pkgPath, names)
+	diags, err := framework.RunAnalyzers(pkgs, []*framework.Analyzer{a})
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
-	}
-	diags, err := framework.RunAnalyzers([]*framework.Package{pkg}, []*framework.Analyzer{a})
-	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		t.Fatal(err)
 	}
 
-	wants, err := collectWants(pkgDir, names)
-	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
-	}
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
-		key := posKey{filepath.Base(pos.Filename), pos.Line}
+		pos := fset.Position(d.Pos)
+		key := posKey{pos.Filename, pos.Line}
 		if !wants.match(key, d.Message) {
 			t.Errorf("%s:%d: unexpected diagnostic: %s", key.file, key.line, d.Message)
 		}
@@ -123,13 +132,14 @@ func (ws *wantSet) match(key posKey, msg string) bool {
 
 var wantRE = regexp.MustCompile(`// want (.*)$`)
 
-// collectWants scans source lines for // want expectations.
-func collectWants(dir string, names []string) (*wantSet, error) {
-	ws := &wantSet{byLine: map[posKey][]*want{}}
+// collectWants scans source lines for // want expectations, keying them by
+// the same full filename the FileSet will report.
+func collectWants(ws *wantSet, dir string, names []string) error {
 	for _, name := range names {
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		full := filepath.Join(dir, name)
+		data, err := os.ReadFile(full)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, line := range strings.Split(string(data), "\n") {
 			m := wantRE.FindStringSubmatch(line)
@@ -138,19 +148,19 @@ func collectWants(dir string, names []string) (*wantSet, error) {
 			}
 			exprs, err := parseWantExprs(m[1])
 			if err != nil {
-				return nil, fmt.Errorf("%s:%d: %v", name, i+1, err)
+				return fmt.Errorf("%s:%d: %v", name, i+1, err)
 			}
-			key := posKey{name, i + 1}
+			key := posKey{full, i + 1}
 			for _, e := range exprs {
 				re, err := regexp.Compile(e)
 				if err != nil {
-					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", name, i+1, err)
+					return fmt.Errorf("%s:%d: bad want regexp: %v", name, i+1, err)
 				}
 				ws.byLine[key] = append(ws.byLine[key], &want{re: re})
 			}
 		}
 	}
-	return ws, nil
+	return nil
 }
 
 // parseWantExprs splits the text after "// want" into quoted or backquoted

@@ -1,0 +1,13 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/errdiscard"
+)
+
+func TestErrdiscard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errdiscard.Analyzer,
+		"clustersim/internal/flushy", "example.com/outside")
+}

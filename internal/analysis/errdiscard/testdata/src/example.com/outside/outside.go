@@ -1,0 +1,13 @@
+// Package outside sits outside critpkg.Export: identical discards, zero
+// findings.
+package outside
+
+type writer struct{ err error }
+
+func (w *writer) Flush() error { return w.err }
+
+func discards(w *writer) {
+	w.Flush()
+	_ = w.Flush()
+	defer w.Flush()
+}

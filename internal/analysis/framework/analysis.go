@@ -15,6 +15,7 @@
 package framework
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -46,6 +47,8 @@ type Pass struct {
 
 	diags      []Diagnostic
 	directives *DirectiveSet
+	// facts carries cross-package analyzer facts; see FactStore.
+	facts *FactStore
 	// reportedDirectives dedupes the "directive needs a justification"
 	// diagnostic when one bare directive suppresses several findings.
 	reportedDirectives map[*Directive]bool
@@ -101,11 +104,62 @@ func (p *Pass) Report(category string, pos token.Pos, format string, args ...any
 	})
 }
 
+// ExportFact records a fact under (this package, this analyzer, key) for
+// passes analyzing downstream packages to import. v must marshal to JSON.
+func (p *Pass) ExportFact(key string, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// An unmarshalable fact value is an analyzer bug, not an input
+		// condition.
+		panic(fmt.Sprintf("framework: %s: exporting fact %q: %v", p.Analyzer.Name, key, err))
+	}
+	if p.facts == nil {
+		p.facts = NewFactStore()
+	}
+	p.facts.set(p.Pkg.Path(), p.Analyzer.Name, key, raw)
+}
+
+// ImportFact loads the fact this analyzer exported for another package into
+// `into`, reporting whether it existed. Facts flow in import order only: a
+// fact is visible iff its package was analyzed earlier in the dependency
+// order (or, under go vet, its vetx file was handed to this invocation).
+func (p *Pass) ImportFact(pkgPath, key string, into any) bool {
+	return p.ImportAnalyzerFact(p.Analyzer.Name, pkgPath, key, into)
+}
+
+// ImportAnalyzerFact is ImportFact across analyzer namespaces: any analyzer
+// may read the facts another analyzer exported, which is what lets e.g. a
+// future analyzer reuse hotalloc's allocation summaries without recomputing
+// them.
+func (p *Pass) ImportAnalyzerFact(analyzer, pkgPath, key string, into any) bool {
+	if p.facts == nil {
+		return false
+	}
+	raw, ok := p.facts.get(pkgPath, analyzer, key)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, into) == nil
+}
+
 // RunAnalyzers applies every analyzer to every package and returns the
 // combined findings in deterministic (position, analyzer, message) order.
+// Packages are processed in dependency order over a fresh fact store, so
+// interprocedural analyzers see their upstream facts.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersWithFacts(pkgs, analyzers, NewFactStore())
+}
+
+// RunAnalyzersWithFacts is RunAnalyzers over a caller-owned fact store —
+// the go vet driver seeds it from dependency vetx files and serializes it
+// back out afterwards. Packages marked FactsOnly contribute facts but no
+// diagnostics (they were loaded as dependencies, not named for analysis).
+func RunAnalyzersWithFacts(pkgs []*Package, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
+	if store == nil {
+		store = NewFactStore()
+	}
 	var out []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range dependencyOrder(pkgs) {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -113,15 +167,54 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				facts:     store,
 			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.Path, a.Name, err)
 			}
-			out = append(out, pass.diags...)
+			if !pkg.FactsOnly {
+				out = append(out, pass.diags...)
+			}
 		}
 	}
 	SortDiagnostics(out, pkgs)
 	return out, nil
+}
+
+// dependencyOrder sorts packages so every package follows all of its
+// (loaded) dependencies — the order fact flow requires. Ties are broken by
+// the incoming order, which Load already sorts by path, so the result is
+// deterministic. Import cycles cannot occur in valid Go.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	order := make([]*Package, 0, len(pkgs))
+	visited := make(map[string]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p.Path] {
+			return
+		}
+		visited[p.Path] = true
+		imps := p.Types.Imports()
+		paths := make([]string, 0, len(imps))
+		for _, im := range imps {
+			paths = append(paths, im.Path())
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			if dep, ok := byPath[path]; ok {
+				visit(dep)
+			}
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
 }
 
 // SortDiagnostics orders diags by file position, then analyzer, then message,

@@ -1,0 +1,198 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the framework's interprocedural call-graph engine: a static
+// call graph over one package's AST and type information, with forward
+// reachability from named root functions. Cross-package edges carry the
+// resolved *types.Func of the callee, so analyzers can chain packages
+// together through facts keyed by FuncKey — the hotalloc analyzer's
+// allocation summaries are the first client.
+//
+// Resolution policy, stated once so every client inherits it:
+//
+//   - Direct calls to package functions and methods on concrete receivers
+//     are static edges.
+//   - Calls through interfaces, func-typed values, fields and parameters
+//     are *dynamic*: the graph records the call site with a nil Callee and
+//     makes no guess about targets. Clients that need dynamic targets
+//     covered (hotalloc's quantum-loop roots) name them as explicit roots
+//     instead — unsound guessing would either miss real paths or drown the
+//     report in impossible ones.
+//   - Function literals are attributed to their enclosing declaration: a
+//     closure's body executes with the enclosing function's dynamic extent
+//     on every path this repo's hot loops use, and a closure that escapes
+//     is visible as the allocation the hotalloc analyzer flags anyway.
+
+// A CallSite is one call expression inside a function body.
+type CallSite struct {
+	// Pos is the call's opening parenthesis (the conventional anchor).
+	Pos token.Pos
+	// Callee is the statically resolved target, possibly from another
+	// package; nil for dynamic calls (interface methods, func values).
+	Callee *types.Func
+}
+
+// A CallNode is one function declared in the analyzed package together with
+// every call its body (closures included) makes.
+type CallNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []CallSite
+}
+
+// A CallGraph is the static call graph of one package.
+type CallGraph struct {
+	// Nodes lists the package's declared functions in file/declaration
+	// order — the deterministic iteration order for clients.
+	Nodes []*CallNode
+
+	byObj map[*types.Func]*CallNode
+}
+
+// FuncKey returns the canonical cross-package identity of a function — the
+// fact key under which interprocedural analyzers publish per-function
+// summaries. Generic instantiations collapse onto their origin, so a
+// summary computed for Queue[T].Push serves every instantiation.
+func FuncKey(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// NodeOf returns the graph node declaring fn, or nil.
+func (g *CallGraph) NodeOf(fn *types.Func) *CallNode {
+	if fn == nil {
+		return nil
+	}
+	return g.byObj[fn.Origin()]
+}
+
+// BuildCallGraph constructs the package call graph from parsed files and
+// their type information.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{byObj: map[*types.Func]*CallNode{}}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isTypeOrBuiltin(info, call) {
+					return true
+				}
+				node.Calls = append(node.Calls, CallSite{
+					Pos:    call.Lparen,
+					Callee: StaticCallee(info, call),
+				})
+				return true
+			})
+			g.Nodes = append(g.Nodes, node)
+			g.byObj[fn.Origin()] = node
+		}
+	}
+	return g
+}
+
+// isTypeOrBuiltin reports whether call is a type conversion or a builtin
+// invocation — syntactic CallExprs that are not function calls. Builtins
+// that allocate (make, append, new) are the hotalloc analyzer's own
+// business at the syntax level, not call-graph edges.
+func isTypeOrBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.TypeName, *types.Builtin:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// StaticCallee resolves the target of a call expression, or nil when the
+// target is dynamic (interface method, func value) or not a function call
+// at all.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return nil // dispatched through the interface: dynamic
+			}
+			return fn
+		}
+		// No selection: a package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// A Reached pairs a reachable function with the root whose closure first
+// reached it (roots are explored in the order given).
+type Reached struct {
+	Node *CallNode
+	Root *CallNode
+}
+
+// Reachable computes forward reachability from roots across the package's
+// static intra-package edges, in deterministic breadth-first order. Roots
+// themselves are included. Cross-package and dynamic edges terminate here —
+// clients follow them through facts (or explicit roots) instead.
+func (g *CallGraph) Reachable(roots ...*CallNode) []Reached {
+	seen := map[*CallNode]bool{}
+	var out []Reached
+	for _, root := range roots {
+		if root == nil || seen[root] {
+			continue
+		}
+		queue := []*CallNode{root}
+		seen[root] = true
+		for len(queue) > 0 {
+			node := queue[0]
+			queue = queue[1:]
+			out = append(out, Reached{Node: node, Root: root})
+			for _, call := range node.Calls {
+				if call.Callee == nil {
+					continue
+				}
+				if next := g.NodeOf(call.Callee); next != nil && !seen[next] {
+					seen[next] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return out
+}

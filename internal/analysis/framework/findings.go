@@ -1,0 +1,60 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+)
+
+// This file defines simlint's machine-readable findings format: the JSON
+// document cmd/simlint emits under -json and CI uploads as an artifact when
+// the lint gate fails. The schema is versioned and position-resolved
+// (file/line/column, not token.Pos) so consumers — CI annotation scripts,
+// editors, humans with jq — need no FileSet.
+
+// FindingsSchema versions the findings document format.
+const FindingsSchema = "simlint-findings/1"
+
+// A Finding is one resolved diagnostic.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+// Findings is the top-level findings document.
+type Findings struct {
+	Schema   string    `json:"schema"`
+	Findings []Finding `json:"findings"`
+}
+
+// MakeFindings resolves diagnostics against fset into the serializable
+// findings document, preserving order.
+func MakeFindings(fset *token.FileSet, diags []Diagnostic) Findings {
+	out := Findings{Schema: FindingsSchema, Findings: []Finding{}}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out.Findings = append(out.Findings, Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Category: d.Category,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// JSON serializes the document, indented for human inspection of CI
+// artifacts. Marshaling cannot fail for this shape.
+func (f Findings) JSON() []byte {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("framework: encoding findings: %v", err))
+	}
+	return append(data, '\n')
+}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // A Package is one loaded, parsed and type-checked package ready for
@@ -26,6 +27,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// FactsOnly marks a package loaded only because a named package depends
+	// on it: analyzers run over it to compute cross-package facts, but its
+	// diagnostics are discarded.
+	FactsOnly bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader consumes.
@@ -37,7 +42,11 @@ type listedPackage struct {
 	GoFiles    []string
 	DepOnly    bool
 	Standard   bool
-	Error      *struct{ Err string }
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
 }
 
 // Load resolves patterns (e.g. "./...") with the go command, parses every
@@ -59,7 +68,25 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := exportImporter(fset, exports)
 	var out []*Package
 	for _, lp := range pkgs {
-		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		// Dependencies from this module are still analyzed — facts only —
+		// so an interprocedural analyzer sees its whole in-module call
+		// graph even when the patterns named just one package. Foreign
+		// module deps (none today; the repo is zero-dependency) and the
+		// standard library stay opaque.
+		factsOnly := lp.DepOnly
+		if factsOnly && (lp.Module == nil || !lp.Module.Main) {
+			continue
+		}
+		// Golden corpora under testdata/ are analyzer *inputs*, never
+		// product code: `go list ./...` skips testdata trees by
+		// convention, but explicit directory patterns (or patterns
+		// resolved from inside a testdata tree) can still name them, and
+		// linting a corpus as product code would report its deliberate
+		// findings. Skip them wherever they slipped in.
+		if underTestdata(lp.Dir) {
 			continue
 		}
 		if lp.Error != nil {
@@ -73,10 +100,21 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = factsOnly
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// underTestdata reports whether dir has a path element named "testdata".
+func underTestdata(dir string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(dir), "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 // CheckSource parses and type-checks a free-standing set of Go files (the
@@ -85,7 +123,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // targeted `go list -export` call). pkgPath becomes the package's import
 // path for critical-package matching.
 func CheckSource(dir, pkgPath string, filenames []string) (*Package, error) {
-	fset := token.NewFileSet()
+	return CheckSourceDeps(token.NewFileSet(), dir, pkgPath, filenames, nil)
+}
+
+// CheckSourceDeps is CheckSource with two extensions multi-package corpora
+// need: the caller owns the FileSet (so several corpus packages share one
+// coordinate space), and deps supplies already-source-checked packages that
+// imports resolve against before falling back to `go list` export data.
+// That lets a testdata package import a sibling testdata package — the
+// shape cross-package fact tests require — even though neither is visible
+// to the go command.
+func CheckSourceDeps(fset *token.FileSet, dir, pkgPath string, filenames []string, deps map[string]*types.Package) (*Package, error) {
 	var files []*ast.File
 	importSet := map[string]bool{}
 	for _, name := range filenames {
@@ -97,7 +145,7 @@ func CheckSource(dir, pkgPath string, filenames []string) (*Package, error) {
 		files = append(files, f)
 		for _, spec := range f.Imports {
 			p, err := strconv.Unquote(spec.Path.Value)
-			if err == nil && p != "C" {
+			if err == nil && p != "C" && deps[p] == nil {
 				importSet[p] = true
 			}
 		}
@@ -115,7 +163,25 @@ func CheckSource(dir, pkgPath string, filenames []string) (*Package, error) {
 		}
 		exports = exp
 	}
-	return typeCheck(fset, exportImporter(fset, exports), pkgPath, files)
+	imp := types.Importer(exportImporter(fset, exports))
+	if len(deps) > 0 {
+		imp = depsImporter{deps: deps, fallback: imp}
+	}
+	return typeCheck(fset, imp, pkgPath, files)
+}
+
+// depsImporter resolves imports from a map of source-checked packages first,
+// then from export data.
+type depsImporter struct {
+	deps     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (d depsImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := d.deps[path]; ok {
+		return pkg, nil
+	}
+	return d.fallback.Import(path)
 }
 
 // checkFiles parses paths and type-checks them as one package.
@@ -158,7 +224,7 @@ func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath string, files []
 func goList(dir string, patterns []string) ([]*listedPackage, map[string]string, error) {
 	args := []string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Dir,Name,Export,GoFiles,DepOnly,Standard,Error",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,DepOnly,Standard,Module,Error",
 	}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)

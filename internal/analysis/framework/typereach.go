@@ -1,0 +1,134 @@
+package framework
+
+import (
+	"go/types"
+)
+
+// This file is the framework's type-reachability engine: a transitive walk
+// over the types a value of some root type *owns* — struct fields (embedded
+// or not), slice/array elements, and the named types those resolve to. It
+// answers the question the snapshotsafe analyzer asks of the engine's
+// checkpoint roots: "if I shallow-copy a value of this type, what state do
+// I actually capture, and through which field path did I reach it?"
+//
+// Ownership, not referability, is the walk's boundary. Maps, channels,
+// funcs and pointers are *reported to the visitor* (they are part of the
+// reachable shape and snapshotsafe's whole subject) but not traversed
+// through by default: what a pointer refers to is aliasing, and whether the
+// alias is snapshot-safe is precisely the judgment the //simlint directive
+// records. A visitor that wants to descend anyway (e.g. through a pointer
+// whose strategy is "deep copy") returns Descend.
+
+// A TypeStep is one edge of the path from the root type to the type being
+// visited.
+type TypeStep struct {
+	// Field is the struct field stepped through, nil for element steps.
+	Field *types.Var
+	// Kind describes the step: "field", "embed", "elem" (slice/array
+	// element), "ptr" (pointer dereference, only when the visitor chose to
+	// descend), "key"/"value" (map, likewise), "named" (resolving a named
+	// type to its underlying type — carries no syntax, kept out of
+	// rendered paths).
+	Kind string
+}
+
+// A TypeAction is a visitor's verdict on the type it was shown.
+type TypeAction int
+
+const (
+	// Descend continues the walk into the type's constituents — including
+	// through maps, pointers and channels when returned for one of those.
+	Descend TypeAction = iota
+	// SkipType stops the walk below this type but continues siblings.
+	SkipType
+)
+
+// WalkReachableTypes visits every type reachable from root by ownership,
+// calling visit with the step path from the root (empty for the root
+// itself). Named types are visited before their underlying types, with the
+// same path, so a visitor can classify by name ("time.Time: opaque but
+// value-copyable") before structure is considered. Cycles through named
+// types terminate: a named type already on the current path is not
+// re-entered.
+func WalkReachableTypes(root types.Type, visit func(path []TypeStep, t types.Type) TypeAction) {
+	w := &typeWalker{visit: visit, onPath: map[string]bool{}}
+	w.walk(nil, root)
+}
+
+type typeWalker struct {
+	visit func(path []TypeStep, t types.Type) TypeAction
+	// onPath guards against cycles through named types, keyed by the
+	// type's canonical string. Keying the *current path* rather than a
+	// global visited set means the same type reached through two disjoint
+	// field paths is reported on both — each path needs its own
+	// justification or fix.
+	onPath map[string]bool
+}
+
+func (w *typeWalker) walk(path []TypeStep, t types.Type) {
+	if w.visit(path, t) == SkipType {
+		return
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		key := t.String()
+		if w.onPath[key] {
+			return
+		}
+		w.onPath[key] = true
+		w.walk(append(path, TypeStep{Kind: "named"}), t.Underlying())
+		delete(w.onPath, key)
+	case *types.Alias:
+		w.walk(path, types.Unalias(t))
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			kind := "field"
+			if f.Embedded() {
+				kind = "embed"
+			}
+			w.walk(append(path, TypeStep{Field: f, Kind: kind}), f.Type())
+		}
+	case *types.Slice:
+		w.walk(append(path, TypeStep{Kind: "elem"}), t.Elem())
+	case *types.Array:
+		w.walk(append(path, TypeStep{Kind: "elem"}), t.Elem())
+	case *types.Pointer:
+		// Reached only when the visitor returned Descend for the pointer:
+		// it accepted the aliasing and wants the pointee's shape checked.
+		w.walk(append(path, TypeStep{Kind: "ptr"}), t.Elem())
+	case *types.Map:
+		w.walk(append(path, TypeStep{Kind: "key"}), t.Key())
+		w.walk(append(path, TypeStep{Kind: "value"}), t.Elem())
+	case *types.Chan:
+		w.walk(append(path, TypeStep{Kind: "elem"}), t.Elem())
+	}
+	// Basic, func, interface, signature, tuple, type param: leaves.
+}
+
+// PathString renders a step path as a dotted field chain for diagnostics:
+// "wakeEv[].slots" — field names joined by dots, element steps shown as
+// "[]", named-resolution steps invisible. An empty path is the root itself
+// and renders as the empty string.
+func PathString(path []TypeStep) string {
+	var out []byte
+	for _, s := range path {
+		switch s.Kind {
+		case "field", "embed":
+			if len(out) > 0 {
+				out = append(out, '.')
+			}
+			out = append(out, s.Field.Name()...)
+		case "elem":
+			out = append(out, "[]"...)
+		case "ptr":
+			out = append(out, '*')
+		case "key":
+			out = append(out, "[key]"...)
+		case "value":
+			out = append(out, "[value]"...)
+		}
+		// "named" steps carry no syntax.
+	}
+	return string(out)
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	// dep first: root imports it, and its summaries must already be in the
+	// fact store when root is analyzed.
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer, "b/dep", "b/root")
+}

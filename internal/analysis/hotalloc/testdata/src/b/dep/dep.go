@@ -1,0 +1,24 @@
+// Package dep is the upstream half of the hotalloc cross-package corpus: it
+// has no hot roots of its own, so nothing here is reported directly — its
+// allocation summaries are exported as facts and surface at call sites in
+// package root.
+package dep
+
+// Grow allocates; its summary must reach root's hot loop.
+func Grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// Fill allocates but is justified at the defining site, which must stop the
+// summary from propagating upstream.
+func Fill(n int) []byte {
+	return make([]byte, n) //simlint:hotalloc corpus: slab refill amortized across quanta
+}
+
+// Pure allocates nothing; calls to it must stay silent.
+func Pure(a, b int) int { return a + b }
+
+// Deep allocates only through Grow: summaries are transitive.
+func Deep(xs []int) []int {
+	return Grow(xs, 1)
+}

@@ -1,0 +1,59 @@
+// Package root is the downstream half of the hotalloc corpus: a marked hot
+// loop exercising every local allocation kind plus cross-package attribution
+// through dep's exported summaries.
+package root
+
+import (
+	"fmt"
+
+	"b/dep"
+)
+
+type engine struct {
+	buf  []int
+	sink any
+}
+
+// step is the quantum loop under test.
+//
+//simlint:hotpath corpus quantum loop
+func (e *engine) step(n int) {
+	e.buf = append(e.buf, n) // want `append \(may grow\) in hot path \(reachable from \(\*root\.engine\)\.step\)`
+	e.helper(n)
+	e.buf = dep.Grow(e.buf, n) // want `call to dep\.Grow in hot path \(reachable from \(\*root\.engine\)\.step\) allocates: dep\.Grow \(dep\.go:\d+\): append \(may grow\)`
+	e.buf = dep.Deep(e.buf)    // want `call to dep\.Deep in hot path .* allocates: dep\.Grow \(dep\.go:\d+\): append \(may grow\)`
+	_ = dep.Fill(n)            // justified at its defining site: silent here
+	_ = dep.Pure(n, n)
+	e.buf = append(e.buf, n) //simlint:hotalloc corpus: cap pre-grown at reset
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // panic args are cold: silent
+	}
+}
+
+// helper is unmarked but reachable from step: every site reports.
+func (e *engine) helper(n int) {
+	m := make([]int, n) // want `make\(\[\]int\) in hot path \(reachable from \(\*root\.engine\)\.step\)`
+	_ = m
+	p := new(engine) // want `new → \*root\.engine in hot path`
+	_ = p
+	lit := []int{1, 2, 3} // want `slice literal \[\]int in hot path`
+	_ = lit
+	mp := map[string]int{} // want `map literal map\[string\]int in hot path`
+	_ = mp
+	q := &engine{} // want `&root\.engine\{…\} escapes to the heap when shared in hot path`
+	_ = q
+	f := func() int { return n } // want `function literal \(allocates a closure if it captures and escapes\) in hot path`
+	_ = f
+	box(n)      // want `interface boxing: int argument boxed into any parameter`
+	box(any(n)) // want `interface boxing: int converted to any`
+}
+
+// box's parameter is the boxing sink; it allocates nothing itself.
+func box(v any) { _ = v }
+
+// cold is unreachable from any hot root: identical constructs, zero
+// findings.
+func cold() {
+	_ = make([]int, 8)
+	_ = map[string]int{}
+}

@@ -4,11 +4,14 @@
 package simlint
 
 import (
+	"clustersim/internal/analysis/errdiscard"
 	"clustersim/internal/analysis/framework"
 	"clustersim/internal/analysis/guestwall"
+	"clustersim/internal/analysis/hotalloc"
 	"clustersim/internal/analysis/lockcopy"
 	"clustersim/internal/analysis/maporder"
 	"clustersim/internal/analysis/nodetsource"
+	"clustersim/internal/analysis/snapshotsafe"
 )
 
 // Analyzers returns the suite in stable order.
@@ -18,5 +21,8 @@ func Analyzers() []*framework.Analyzer {
 		maporder.Analyzer,
 		guestwall.Analyzer,
 		lockcopy.Analyzer,
+		snapshotsafe.Analyzer,
+		hotalloc.Analyzer,
+		errdiscard.Analyzer,
 	}
 }

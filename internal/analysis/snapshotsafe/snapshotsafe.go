@@ -1,0 +1,175 @@
+// Package snapshotsafe defines the simlint analyzer guarding the optimistic
+// engine's checkpoint contract: every type reachable from a declared
+// snapshot root must be safe to capture with a shallow copy, or carry an
+// explicit, reviewed copy strategy.
+//
+// A snapshot root is a type declaration marked with a
+// //simlint:snapshotroot directive (on the declaration or its last doc
+// line) — the node arena, the guest node state, the transport endpoint
+// state: whatever a one-copy()-per-lane checkpoint must capture. From each
+// root the analyzer walks the ownership graph — struct fields, embedded
+// fields, slice and array elements, across package boundaries for value
+// types — and flags every construct a shallow copy does NOT duplicate:
+//
+//   - maps and channels (reference types; the copy shares the backing store)
+//   - function values (captured state is invisible and shared)
+//   - interface values (the dynamic value is aliased, whatever it is)
+//   - sync primitives (copying one is itself a bug; see lockcopy)
+//   - pointers (the pointee is shared between snapshot and live state)
+//
+// Each finding is reported at the innermost field of the analyzed package
+// on the offending path, which is where the justification lives:
+//
+//	node []*guest.Node //simlint:snapshotsafe nodes checkpoint themselves; arena lanes only alias
+//
+// The directive's text is the copy strategy — the one-line answer to "what
+// makes the rollback engine's restore of this field correct?". A flagged
+// construct is not descended into: the strategy annotation owns everything
+// behind the alias (and if the pointee is itself checkpointed state, it is
+// marked as its own root and audited independently).
+package snapshotsafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"clustersim/internal/analysis/framework"
+)
+
+// Analyzer flags shallow-copy-unsafe state reachable from snapshot roots.
+var Analyzer = &framework.Analyzer{
+	Name: "snapshotsafe",
+	Doc: "flag maps, channels, funcs, sync primitives, interfaces and pointers " +
+		"reachable from //simlint:snapshotroot types without a //simlint:snapshotsafe " +
+		"<copy-strategy> justification",
+	Run: run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	dirs := pass.Directives()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if dirs.Suppressing("snapshotroot", pass.Fset, ts.Pos()) == nil &&
+					dirs.Suppressing("snapshotroot", pass.Fset, gd.Pos()) == nil {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				checkRoot(pass, obj.Name(), ts.Pos(), obj.Type())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkRoot walks the ownership graph of one root type and reports every
+// shallow-copy hazard at its innermost in-package field.
+func checkRoot(pass *framework.Pass, rootName string, rootPos token.Pos, root types.Type) {
+	reported := map[string]bool{}
+	framework.WalkReachableTypes(root, func(path []framework.TypeStep, t types.Type) framework.TypeAction {
+		if len(path) == 0 {
+			return framework.Descend // the root type itself
+		}
+		hazard := classify(t)
+		if hazard == "" {
+			return framework.Descend
+		}
+		pos, pathStr := reportSite(pass, rootPos, path)
+		key := fmt.Sprintf("%d|%s|%s", pos, pathStr, hazard)
+		if !reported[key] {
+			reported[key] = true
+			pass.Report("snapshotsafe", pos,
+				"snapshot root %s: %q holds %s, which a shallow checkpoint copy aliases "+
+					"instead of duplicating; record the copy strategy with "+
+					"//simlint:snapshotsafe <strategy> on the field, or restructure",
+				rootName, pathStr, hazard)
+		}
+		return framework.SkipType
+	})
+}
+
+// classify names the shallow-copy hazard t poses, or "" if a shallow copy
+// captures it faithfully (so the walk should keep descending).
+func classify(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		if name, ok := syncPrimitive(t); ok {
+			return "sync primitive " + name
+		}
+		// A named reference/interface type is flagged here, under its name
+		// (`error`, not `interface{Error() string}`); named structs and
+		// value types descend to their underlying shape instead.
+		switch t.Underlying().(type) {
+		case *types.Map, *types.Chan, *types.Signature, *types.Interface, *types.Pointer:
+			return classifyKind(t.Underlying()) + " " + typeString(t)
+		}
+		return ""
+	case *types.Map, *types.Chan, *types.Signature, *types.Interface, *types.Pointer:
+		return classifyKind(t) + " " + typeString(t)
+	}
+	return ""
+}
+
+// classifyKind names the hazard class of a reference/interface type.
+func classifyKind(t types.Type) string {
+	switch t.(type) {
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	case *types.Signature:
+		return "function value"
+	case *types.Interface:
+		return "interface value"
+	case *types.Pointer:
+		return "pointer"
+	}
+	return "value"
+}
+
+// syncPrimitive reports whether t is a sync/sync-atomic type whose identity
+// a copy would split (the same set lockcopy refuses to see copied).
+func syncPrimitive(t *types.Named) (string, bool) {
+	obj := t.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if path != "sync" && path != "sync/atomic" {
+		return "", false
+	}
+	return obj.Pkg().Name() + "." + obj.Name(), true
+}
+
+// reportSite picks the diagnostic position for a hazard path: the innermost
+// field on the path declared in the analyzed package (where a
+// //simlint:snapshotsafe directive can sit), falling back to the root type
+// declaration when the whole path runs through foreign value types. The
+// returned string renders the full path for the message.
+func reportSite(pass *framework.Pass, rootPos token.Pos, path []framework.TypeStep) (token.Pos, string) {
+	pos := rootPos
+	for _, step := range path {
+		if step.Field != nil && step.Field.Pkg() == pass.Pkg {
+			pos = step.Field.Pos()
+		}
+	}
+	return pos, framework.PathString(path)
+}
+
+// typeString renders a type compactly with package-name qualifiers.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,12 @@
+package snapshotsafe_test
+
+import (
+	"testing"
+
+	"clustersim/internal/analysis/analysistest"
+	"clustersim/internal/analysis/snapshotsafe"
+)
+
+func TestSnapshotsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapshotsafe.Analyzer, "a")
+}

@@ -1,0 +1,63 @@
+// Package a is the snapshotsafe golden corpus: one marked snapshot root per
+// hazard class, plus negatives (unmarked types, justified fields, pure-value
+// state) that must stay silent.
+package a
+
+import "sync"
+
+// Arena is the checkpointed state under test.
+//
+//simlint:snapshotroot per-lane checkpoint target
+type Arena struct {
+	phase   []uint8  // value lanes: safe
+	hostNow []int64  // safe
+	names   [4]string // array of values: safe
+
+	metrics map[string]int64 // want `snapshot root Arena: "metrics" holds map map\[string\]int64`
+	wake    chan struct{}    // want `snapshot root Arena: "wake" holds channel chan struct\{\}`
+	step    func() error     // want `snapshot root Arena: "step" holds function value func\(\) error`
+	err     error            // want `snapshot root Arena: "err" holds interface value error`
+	mu      sync.Mutex       // want `snapshot root Arena: "mu" holds sync primitive sync\.Mutex`
+	nodes   []*node          // want `snapshot root Arena: "nodes\[\]" holds pointer \*a\.node`
+
+	owner *node //simlint:snapshotsafe restored by re-binding after copy, never mutated mid-quantum
+
+	inner laneSet
+}
+
+// laneSet is reached from Arena by value; its hazards are reported at its
+// own fields (the innermost in-package position on the path).
+type laneSet struct {
+	free []int32
+	held map[int32]bool // want `snapshot root Arena: "inner\.held" holds map map\[int32\]bool`
+}
+
+// node is reachable only through flagged pointers, so its own map is never
+// walked from Arena (flag-and-stop), and it is not a root itself.
+type node struct {
+	links map[string]*node
+}
+
+// ring exercises the named-type cycle guard: the walk must terminate and
+// still flag the pointer once per path.
+//
+//simlint:snapshotroot cycle-guard exercise
+type ring struct {
+	buf  []int64
+	next *ring // want `snapshot root ring: "next" holds pointer \*a\.ring`
+}
+
+// plain is unmarked: identical hazards, zero findings.
+type plain struct {
+	m  map[string]int
+	ch chan int
+	p  *plain
+}
+
+// bare exercises the justification requirement: the directive suppresses
+// the finding but is itself reported.
+//
+//simlint:snapshotroot bare-directive exercise
+type bare struct {
+	m map[string]int //simlint:snapshotsafe // want `//simlint:snapshotsafe directive needs a one-line justification`
+}

@@ -69,8 +69,10 @@ const (
 // own node's index in each lane; the engine's barrier provides the
 // happens-before edge between quanta, exactly as it did for the per-node
 // structs.
+//
+//simlint:snapshotroot one copy() per lane is the whole checkpoint contract
 type nodeArena struct {
-	node  []*guest.Node
+	node  []*guest.Node //simlint:snapshotsafe guest nodes are their own snapshot root; the arena lane only re-binds pointers on restore
 	phase []nodePhase
 
 	// Execution cursor: the host time corresponding to the node's position
@@ -567,6 +569,7 @@ func (e *engine) recordQuantum(qi int, start simtime.Guest, Q simtime.Duration, 
 	}
 }
 
+//simlint:hotpath classic-walk quantum loop: every event of every quantum dispatches here
 func (e *engine) dispatch(h simtime.Host, ev event) {
 	switch ev.kind {
 	case evStep:
@@ -653,7 +656,7 @@ func (e *engine) stepNode(i int, h simtime.Host) {
 
 		case guest.StepDone:
 			if st.Err != nil && e.firstErr == nil {
-				e.firstErr = fmt.Errorf("cluster: rank %d: %w", i, st.Err)
+				e.firstErr = fmt.Errorf("cluster: rank %d: %w", i, st.Err) //simlint:hotalloc error path: fires at most once per node, at workload failure
 			}
 			e.doneCount++
 			e.na.doneHost[i] = h
@@ -715,17 +718,17 @@ func (e *engine) sendFrame(i int, h simtime.Host, tSend simtime.Guest, f *pkt.Fr
 	e.na.txFree[i] = depart
 
 	arrHost := h.Add(e.cfg.Host.PacketTransit)
-	ship := func(dst int) {
+	ship := func(dst int) { //simlint:hotalloc non-escaping closure: called and discarded inside sendFrame, stays on the stack
 		fi := int32(len(e.flights))
-		e.flights = append(e.flights, flight{
+		e.flights = append(e.flights, flight{ //simlint:hotalloc flight log grows to the per-quantum high-water mark once; length-reset each quantum
 			f: f, src: int32(src), dst: int32(dst), tSend: tSend,
 			tD: e.arrivalTime(f, src, dst, depart),
 		})
 		switch {
 		case e.assembling:
-			e.batch = append(e.batch, routed{h: arrHost, fi: fi})
+			e.batch = append(e.batch, routed{h: arrHost, fi: fi}) //simlint:hotalloc assembly batch grows to its watermark once; length-reset each quantum
 		case e.curPart != nil && e.curPart[dst] != e.curPart[src]:
-			e.walks[src].defs = append(e.walks[src].defs, defEvent{h: arrHost, fi: fi})
+			e.walks[src].defs = append(e.walks[src].defs, defEvent{h: arrHost, fi: fi}) //simlint:hotalloc deferred-event lane grows to its watermark once; length-reset each quantum
 		default:
 			e.q.PushPri(int64(arrHost), priFrame, event{kind: evFrame, fi: fi})
 		}
@@ -856,7 +859,7 @@ func (e *engine) routeFlight(h simtime.Host, fi int32) {
 // emitPacket routes one packet record to the trace slice and the observer.
 func (e *engine) emitPacket(rec PacketRecord) {
 	if e.cfg.TracePackets {
-		e.res.Packets = append(e.res.Packets, rec)
+		e.res.Packets = append(e.res.Packets, rec) //simlint:hotalloc packet tracing is opt-in diagnostics; the trace slice is the product, not scratch
 	}
 	if e.obs != nil {
 		e.obs.Packet(rec)
@@ -916,7 +919,7 @@ func (e *engine) deliver(h simtime.Host, fl flight, dupCopy bool) {
 	}
 
 	if e.batching {
-		e.pend = append(e.pend, pendDeliv{dst: fl.dst, f: fl.f, arr: arr})
+		e.pend = append(e.pend, pendDeliv{dst: fl.dst, f: fl.f, arr: arr}) //simlint:hotalloc pending-delivery buffer grows to its watermark once; length-reset each quantum
 		return
 	}
 
@@ -1004,7 +1007,7 @@ func (e *engine) routeBatch() {
 		sum += cnt[d]
 	}
 	if cap(e.delivSorted) < len(e.pend) {
-		e.delivSorted = make([]guest.Arrival, len(e.pend))
+		e.delivSorted = make([]guest.Arrival, len(e.pend)) //simlint:hotalloc sort scratch grows to the high-water mark once, then reslices allocation-free
 	}
 	sorted := e.delivSorted[:len(e.pend)]
 	for i := range e.pend {
@@ -1029,6 +1032,8 @@ func (e *engine) routeBatch() {
 // router in (node, send-sequence) order. That canonical order is what makes
 // the run bit-identical for every Workers >= 1 value: workers only decide
 // *who* walks a node, never the order anything is published.
+//
+//simlint:hotpath fast-path quantum loop
 func (e *engine) runQuantumFast(hostNow simtime.Host) {
 	if e.pool != nil {
 		e.pool.Run(len(e.walks), e.walkFn)
@@ -1071,7 +1076,7 @@ func (e *engine) foldWalk(i int) {
 	}
 	if wk.done {
 		if wk.err != nil && e.firstErr == nil {
-			e.firstErr = fmt.Errorf("cluster: rank %d: %w", i, wk.err)
+			e.firstErr = fmt.Errorf("cluster: rank %d: %w", i, wk.err) //simlint:hotalloc error path: fires at most once per node, at workload failure
 		}
 		e.doneCount++
 	}
@@ -1095,6 +1100,8 @@ func (e *engine) foldWalk(i int) {
 // runQuantumFast — concurrently when a pool exists — and everything
 // publishes at the barrier in canonical node order through the batched
 // router.
+//
+//simlint:hotpath graded-path quantum loop
 func (e *engine) runQuantumGraded(hostNow simtime.Host, p *partitioning) {
 	e.curPart = p.part
 	for _, members := range p.tight {
@@ -1147,7 +1154,7 @@ func (e *engine) runQuantumGraded(hostNow simtime.Host, p *partitioning) {
 			}
 		} else {
 			for _, d := range e.walks[i].defs {
-				e.batch = append(e.batch, routed{h: d.h, fi: d.fi})
+				e.batch = append(e.batch, routed{h: d.h, fi: d.fi}) //simlint:hotalloc assembly batch grows to its watermark once; length-reset each quantum
 			}
 		}
 	}
@@ -1192,6 +1199,8 @@ func (e *engine) profPartitionWaits(p *partitioning, maxH simtime.Host) {
 // lookups are pure, and each node's speed-memo entry is private to its
 // walker). Globally visible effects are buffered in wk for the single-
 // threaded barrier fold.
+//
+//simlint:hotpath per-node walk body, invoked through worker closures the call graph cannot follow
 func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 	wk.sends = wk.sends[:0]
 	wk.phases = wk.phases[:0]
@@ -1204,7 +1213,7 @@ func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 	e.na.wakeEv[i] = eventq.Handle{}
 	h := hostNow
 
-	finish := func() {
+	finish := func() { //simlint:hotalloc non-escaping closure: called and discarded inside walkNode, stays on the stack
 		e.na.phase[i] = phAtLimit
 		e.na.finishHost[i] = h
 		e.na.hostNow[i] = h
@@ -1213,7 +1222,7 @@ func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 	// record the phase, advance the cursor, and wake the node at target.
 	// Fast-path idle segments are never truncated or re-aimed — no delivery
 	// can land before the limit — so the extent is final at creation.
-	idle := func(target simtime.Guest) {
+	idle := func(target simtime.Guest) { //simlint:hotalloc non-escaping closure: called and discarded inside walkNode, stays on the stack
 		from := n.Clock()
 		if target < from {
 			panic(fmt.Sprintf("cluster: node %d idling backwards %v -> %v", i, from, target))
@@ -1221,7 +1230,7 @@ func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 		cost := e.hostCost(i, from, target, host.Idle)
 		wk.idle += cost
 		end := h.Add(cost)
-		wk.phases = append(wk.phases, phaseRec{obs.PhaseIdle, from, target, h, end})
+		wk.phases = append(wk.phases, phaseRec{obs.PhaseIdle, from, target, h, end}) //simlint:hotalloc per-worker phase log grows to its watermark once; length-reset each quantum
 		h = end
 		e.na.doneIdling[i] = n.Done()
 		n.WakeAt(target)
@@ -1240,11 +1249,11 @@ func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 			cost := e.hostCost(i, st.From, st.To, host.Busy)
 			wk.busy += cost
 			end := h.Add(cost)
-			wk.phases = append(wk.phases, phaseRec{obs.PhaseBusy, st.From, st.To, h, end})
+			wk.phases = append(wk.phases, phaseRec{obs.PhaseBusy, st.From, st.To, h, end}) //simlint:hotalloc per-worker send log grows to its watermark once; length-reset each quantum
 			h = end
 
 		case guest.StepSend:
-			wk.sends = append(wk.sends, sendRec{f: st.Frame, tSend: st.To, h: h})
+			wk.sends = append(wk.sends, sendRec{f: st.Frame, tSend: st.To, h: h}) //simlint:hotalloc per-worker phase log grows to its watermark once; length-reset each quantum
 
 		case guest.StepBlocked:
 			target := simtime.MinGuest(st.NextArrival, st.Deadline)
@@ -1267,7 +1276,7 @@ func (e *engine) walkNode(i int, wk *nodeWalk, hostNow simtime.Host) {
 			wk.err = st.Err
 			e.na.doneHost[i] = h
 			g := n.Clock()
-			wk.phases = append(wk.phases, phaseRec{obs.PhaseDone, g, g, h, h})
+			wk.phases = append(wk.phases, phaseRec{obs.PhaseDone, g, g, h, h}) //simlint:hotalloc per-worker phase log grows to its watermark once; length-reset each quantum
 			// The simulator keeps idling to the barrier.
 			idle(e.limit)
 			finish()

@@ -412,7 +412,7 @@ func (p *Profiler) Frame(src, dst int, lat simtime.Duration) {
 	k := [2]int{src, dst}
 	l := p.links[k]
 	if l == nil {
-		l = &linkAcc{latMin: lat, latMax: lat, slackMin: slack}
+		l = &linkAcc{latMin: lat, latMax: lat, slackMin: slack} //simlint:hotalloc once per link on first touch, and only when profiling is enabled
 		p.links[k] = l
 	}
 	l.frames++
